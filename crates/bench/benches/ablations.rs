@@ -1,0 +1,133 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Gray order vs lexicographic order** before H-Build — Proposition 2
+//!    is the paper's justification for Gray sorting; the ablation measures
+//!    what it buys in query time.
+//! 2. **Static segment width** — the prefix-alignment sensitivity of the
+//!    Static HA-Index (§4.3).
+//! 3. **Pivot partitioning vs naive hash partitioning** — the §5.1 load
+//!    balancing, measured as reduce skew on clustered data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::{hashed_dataset, query_workload};
+use ha_bitcode::gray::gray_rank;
+use ha_bitcode::BinaryCode;
+use ha_core::dynamic::DynamicHaIndex;
+use ha_core::testkit::clustered_dataset;
+use ha_core::{HammingIndex, StaticHaIndex, TupleId};
+use ha_datagen::DatasetProfile;
+use ha_distributed::PivotPartitioner;
+
+const N: usize = 10_000;
+
+/// Builds a DHA-Index whose leaves were ordered by plain lexicographic
+/// order instead of Gray order, by pre-permuting ids so that the Gray sort
+/// inside H-Build is defeated. We emulate it the honest way: build from
+/// data whose codes were *bit-reversed* (which scrambles Gray locality)
+/// and query with equally transformed queries — the tree sees
+/// lexicographically-clustered but Gray-scattered data.
+fn bit_reverse(code: &BinaryCode) -> BinaryCode {
+    let len = code.len();
+    let mut out = BinaryCode::zero(len);
+    for i in 0..len {
+        if code.get(i) {
+            out.set(len - 1 - i, true);
+        }
+    }
+    out
+}
+
+fn bench_gray_ablation(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 11);
+    let queries = query_workload(&ds.codes, 64, 12);
+
+    let gray = DynamicHaIndex::build(ds.codes.clone());
+    // Scrambled variant: same multiset of pairwise distances per query,
+    // but neighbours in Gray order no longer share long FLSSeqs.
+    let scrambled_data: Vec<(BinaryCode, TupleId)> = ds
+        .codes
+        .iter()
+        .map(|(c, id)| (bit_reverse(c), *id))
+        .collect();
+    let scrambled = DynamicHaIndex::build(scrambled_data);
+    let scrambled_queries: Vec<BinaryCode> = queries.iter().map(bit_reverse).collect();
+
+    let mut group = c.benchmark_group("ablation_gray_order");
+    let mut qi = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("gray-sorted"), |b| {
+        b.iter(|| {
+            qi += 1;
+            std::hint::black_box(gray.search(&queries[qi % queries.len()], 3))
+        })
+    });
+    let mut qi = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("bit-reversed"), |b| {
+        b.iter(|| {
+            qi += 1;
+            std::hint::black_box(
+                scrambled.search(&scrambled_queries[qi % scrambled_queries.len()], 3),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_segment_width(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 13);
+    let queries = query_workload(&ds.codes, 64, 14);
+    let mut group = c.benchmark_group("ablation_segment_width");
+    for width in [2usize, 4, 8, 16] {
+        let idx = StaticHaIndex::build_with_width(ds.codes.clone(), width);
+        let mut qi = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                qi += 1;
+                std::hint::black_box(idx.search(&queries[qi % queries.len()], 3))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    // Not a latency benchmark: measure assignment throughput and report
+    // skew once (printed), since skew — not speed — is the design point.
+    let data = clustered_dataset(20_000, 32, 3, 2, 15);
+    let codes: Vec<BinaryCode> = data.iter().map(|(c, _)| c.clone()).collect();
+    let sample: Vec<BinaryCode> = codes.iter().step_by(13).cloned().collect();
+    let pivot = PivotPartitioner::from_sample(&sample, 8);
+
+    let skew = |counts: &[usize]| {
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        max / mean
+    };
+    let mut pivot_counts = vec![0usize; 8];
+    let mut hash_counts = vec![0usize; 8];
+    for c in &codes {
+        pivot_counts[pivot.assign(c)] += 1;
+        hash_counts[(gray_rank(c).to_u64() % 8) as usize] += 1;
+    }
+    println!(
+        "partitioning skew on clustered data: pivots {:.2} vs gray-modulo {:.2}",
+        skew(&pivot_counts),
+        skew(&hash_counts)
+    );
+
+    let mut group = c.benchmark_group("ablation_partition_assign");
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::from_parameter("pivot-assign"), |b| {
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(pivot.assign(&codes[i % codes.len()]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gray_ablation, bench_segment_width, bench_partitioning
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion study behind Figure 8: H-Build time and H-Search time as the
+//! window size and depth vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::{hashed_dataset, query_workload};
+use ha_core::dynamic::{DhaConfig, DynamicHaIndex};
+use ha_core::HammingIndex;
+use ha_datagen::DatasetProfile;
+
+const N: usize = 10_000;
+
+fn bench_build(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 5);
+    let mut group = c.benchmark_group("dha_build");
+    group.sample_size(10);
+    for window in [4usize, 16, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("window", window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    DynamicHaIndex::build_with(
+                        ds.codes.clone(),
+                        DhaConfig {
+                            window,
+                            ..DhaConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    for depth in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                DynamicHaIndex::build_with(
+                    ds.codes.clone(),
+                    DhaConfig {
+                        max_depth: depth,
+                        ..DhaConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 6);
+    let queries = query_workload(&ds.codes, 64, 7);
+    let mut group = c.benchmark_group("dha_query_by_params");
+    for window in [4usize, 64] {
+        for depth in [2usize, 8] {
+            let idx = DynamicHaIndex::build_with(
+                ds.codes.clone(),
+                DhaConfig {
+                    window,
+                    max_depth: depth,
+                    ..DhaConfig::default()
+                },
+            );
+            let mut qi = 0usize;
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("w{window}_d{depth}")),
+                |b| {
+                    b.iter(|| {
+                        qi += 1;
+                        std::hint::black_box(idx.search(&queries[qi % queries.len()], 3))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenchmark behind Table 4: Hamming-select query latency
+//! per index, on the NUS-WIDE profile at h = 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::{hashed_dataset, query_workload};
+use ha_core::{
+    DynamicHaIndex, HEngine, HammingIndex, HmSearch, LinearScanIndex, MultiHashTable,
+    RadixTreeIndex, StaticHaIndex,
+};
+use ha_datagen::DatasetProfile;
+
+const N: usize = 20_000;
+const H: u32 = 3;
+
+fn bench_select(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 1);
+    let queries = query_workload(&ds.codes, 64, 2);
+
+    let mut group = c.benchmark_group("hamming_select_h3");
+    macro_rules! bench_index {
+        ($label:expr, $idx:expr) => {{
+            let idx = $idx;
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::from_parameter($label), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(idx.search(&queries[qi % queries.len()], H))
+                })
+            });
+        }};
+    }
+    bench_index!("nested-loops", LinearScanIndex::build(ds.codes.clone()));
+    bench_index!("mh-4", MultiHashTable::build(ds.codes.clone(), 4));
+    bench_index!("mh-10", MultiHashTable::build(ds.codes.clone(), 10));
+    bench_index!("hengine", HEngine::build(ds.codes.clone(), 2));
+    bench_index!("hmsearch", HmSearch::build(ds.codes.clone(), 2));
+    bench_index!("radix-tree", RadixTreeIndex::build(ds.codes.clone()));
+    bench_index!("sha-index", StaticHaIndex::build(ds.codes.clone()));
+    bench_index!("dha-index", DynamicHaIndex::build(ds.codes.clone()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_select
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Index construction cost per method — the build-time dimension that
+//! Table 5 reports for the kNN structures, extended to every
+//! Hamming-select index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::hashed_dataset;
+use ha_core::{
+    DynamicHaIndex, HEngine, HmSearch, LinearScanIndex, MultiHashTable, RadixTreeIndex,
+    StaticHaIndex,
+};
+use ha_datagen::DatasetProfile;
+
+const N: usize = 10_000;
+
+fn bench_build(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 21);
+    let codes = ds.codes;
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("nested-loops"), |b| {
+        b.iter(|| LinearScanIndex::build(codes.clone()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("mh-4"), |b| {
+        b.iter(|| MultiHashTable::build(codes.clone(), 4))
+    });
+    group.bench_function(BenchmarkId::from_parameter("mh-10"), |b| {
+        b.iter(|| MultiHashTable::build(codes.clone(), 10))
+    });
+    group.bench_function(BenchmarkId::from_parameter("hengine"), |b| {
+        b.iter(|| HEngine::build(codes.clone(), 2))
+    });
+    group.bench_function(BenchmarkId::from_parameter("hmsearch"), |b| {
+        b.iter(|| HmSearch::build(codes.clone(), 2))
+    });
+    group.bench_function(BenchmarkId::from_parameter("radix-tree"), |b| {
+        b.iter(|| RadixTreeIndex::build(codes.clone()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("sha-index"), |b| {
+        b.iter(|| StaticHaIndex::build(codes.clone()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("dha-index"), |b| {
+        b.iter(|| DynamicHaIndex::build(codes.clone()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion sweep behind Figure 6: query time vs Hamming threshold for
+//! the HA-Indexes and the Radix-Tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::{hashed_dataset, query_workload};
+use ha_core::{DynamicHaIndex, HammingIndex, RadixTreeIndex, StaticHaIndex};
+use ha_datagen::DatasetProfile;
+
+const N: usize = 15_000;
+
+fn bench_thresholds(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, 32, 3);
+    let queries = query_workload(&ds.codes, 64, 4);
+
+    let radix = RadixTreeIndex::build(ds.codes.clone());
+    let sha = StaticHaIndex::build(ds.codes.clone());
+    let dha = DynamicHaIndex::build(ds.codes.clone());
+    let indexes: [(&str, &dyn HammingIndex); 3] =
+        [("radix", &radix), ("sha", &sha), ("dha", &dha)];
+
+    let mut group = c.benchmark_group("threshold_sweep");
+    for h in [1u32, 3, 6] {
+        for (name, idx) in indexes {
+            let mut qi = 0usize;
+            group.bench_with_input(BenchmarkId::new(name, h), &h, |b, &h| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(idx.search(&queries[qi % queries.len()], h))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_thresholds
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Figure 10 — the effect of the preprocessing sample rate:
+//! (a) per-phase wall-clock of the MRHA pipeline, (b) precision/recall of
+//! the approximate (hash-based) join against exact vector-space kNN.
+//!
+//! §6.2.3's observations: more sampling improves pivot quality (better
+//! balance → faster build/join) while hash learning itself dominates the
+//! preprocessing time; precision/recall "moderately improve" with the
+//! sample size, and recall stays low — the intrinsic cost of a 32-bit
+//! code.
+
+use std::collections::HashSet;
+
+use ha_datagen::{generate, DatasetProfile};
+use ha_distributed::pipeline::{mrha_self_join, MrHaConfig};
+use ha_knn::exact::exact_knn;
+
+use crate::{fmt_duration, print_table, Scale};
+
+const BASE_N: usize = 3_000;
+const SAMPLE_RATES: [f64; 6] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30];
+const K_TRUTH: usize = 10;
+
+/// Runs the Figure 10 sweep (NUS-WIDE profile, spread over
+/// proportionally more clusters — see fig7_9 — so retrieval sets match
+/// real-data selectivity).
+pub fn run(scale: &Scale) {
+    let n = scale.n(BASE_N);
+    let profile = DatasetProfile {
+        clusters: DatasetProfile::nuswide().clusters * 16,
+        ..DatasetProfile::nuswide()
+    };
+    let data: Vec<(Vec<f64>, u64)> = generate(&profile, n, 8000)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i as u64))
+        .collect();
+
+    // Exact vector-space kNN pairs for a sample of probes — the quality
+    // reference for Figure 10b.
+    let probes: Vec<usize> = (0..n).step_by((n / 50).max(1)).collect();
+    let mut truth: HashSet<(u64, u64)> = HashSet::new();
+    for &p in &probes {
+        let (v, id) = &data[p];
+        let rest: Vec<_> = data.iter().filter(|(_, o)| o != id).cloned().collect();
+        for nb in exact_knn(&rest, v, K_TRUTH) {
+            let (a, b) = if *id < nb.id { (*id, nb.id) } else { (nb.id, *id) };
+            truth.insert((a, b));
+        }
+    }
+
+    let mut time_rows = Vec::new();
+    let mut quality_rows = Vec::new();
+    for &rate in &SAMPLE_RATES {
+        let cfg = MrHaConfig {
+            partitions: 8,
+            sample_rate: rate,
+            h: 2,
+            ..MrHaConfig::default()
+        };
+        let outcome = mrha_self_join(&data, &cfg);
+        time_rows.push(vec![
+            format!("{rate:.2}"),
+            fmt_duration(outcome.times.sampling),
+            fmt_duration(outcome.times.hash_learning),
+            fmt_duration(outcome.times.index_build),
+            fmt_duration(outcome.times.join),
+            fmt_duration(outcome.times.total()),
+        ]);
+
+        // Figure 10b: restrict retrieved pairs to the probe tuples the
+        // truth covers.
+        let probe_set: HashSet<u64> = probes.iter().map(|&p| p as u64).collect();
+        let retrieved: Vec<(u64, u64)> = outcome
+            .pairs
+            .iter()
+            .copied()
+            .filter(|(a, b)| probe_set.contains(a) || probe_set.contains(b))
+            .collect();
+        let hits = retrieved.iter().filter(|p| truth.contains(p)).count() as f64;
+        let precision = if retrieved.is_empty() {
+            0.0
+        } else {
+            hits / retrieved.len() as f64
+        };
+        let recall = hits / truth.len() as f64;
+        quality_rows.push(vec![
+            format!("{rate:.2}"),
+            format!("{precision:.3}"),
+            format!("{recall:.3}"),
+        ]);
+        let _ = scale;
+    }
+
+    print_table(
+        &format!("Figure 10a: per-phase time vs sampling rate (n={n})"),
+        &["sample", "sampling", "learn hash", "index build", "join", "total"],
+        &time_rows,
+    );
+    print_table(
+        &format!("Figure 10b: precision / recall vs sampling rate (n={n}, vs exact {K_TRUTH}-NN)"),
+        &["sample", "precision", "recall"],
+        &quality_rows,
+    );
+}

@@ -1,0 +1,131 @@
+//! Figures 7 and 9 — the MapReduce self-join sweep over dataset size:
+//! shuffle cost (Fig 7) and running time (Fig 9) for PGBJ, PMH-10,
+//! MRHA-Index-A and MRHA-Index-B, per dataset, with the paper's ×s
+//! scale-up providing the size axis.
+//!
+//! Expected shapes (§6.2): PGBJ's shuffle is one to two orders of
+//! magnitude above the code-based joins and grows linearly in `n·d`; its
+//! runtime grows superlinearly. MRHA beats PMH on both axes, and Option B
+//! shuffles less than Option A.
+
+use ha_datagen::{generate, scale_up, DatasetProfile};
+use ha_distributed::pgbj::{pgbj_self_knn_join, PgbjConfig};
+use ha_distributed::pipeline::{mrha_self_join, MrHaConfig};
+use ha_distributed::pmh::pmh_hamming_join;
+use ha_distributed::JoinOption;
+
+use crate::{fmt_bytes, fmt_duration, print_table, Scale};
+
+/// Base tuple count at scale factor ×1 (paper: the original datasets).
+const BASE_N: usize = 160;
+/// The paper's ×s sweep.
+const SCALE_FACTORS: [usize; 5] = [5, 10, 15, 20, 25];
+
+/// Runs the Figures 7 + 9 sweep.
+pub fn run(scale: &Scale) {
+    for (pi, profile) in DatasetProfile::all().iter().enumerate() {
+        let base_n = scale.n(BASE_N);
+        // The stock profiles model a few dozen broad clusters; at join
+        // scale that collapses too many tuples onto identical codes and
+        // the result-pair count (not the algorithms) dominates the run.
+        // Spread the same shape over proportionally more clusters, as the
+        // real collections have.
+        let profile = DatasetProfile {
+            clusters: profile.clusters * 8,
+            ..profile.clone()
+        };
+        let base = generate(&profile, base_n, 7000 + pi as u64);
+
+        let mut shuffle_rows: Vec<Vec<String>> = Vec::new();
+        let mut time_rows: Vec<Vec<String>> = Vec::new();
+        let mut pgbj_row = vec!["PGBJ".to_string()];
+        let mut pgbj_trow = vec!["PGBJ".to_string()];
+        let mut pmh_row = vec!["PMH-10".to_string()];
+        let mut pmh_trow = vec!["PMH-10".to_string()];
+        let mut a_row = vec!["MRHA-INDEX-A".to_string()];
+        let mut a_trow = vec!["MRHA-INDEX-A".to_string()];
+        let mut b_row = vec!["MRHA-INDEX-B".to_string()];
+        let mut b_trow = vec!["MRHA-INDEX-B".to_string()];
+
+        for &s in &SCALE_FACTORS {
+            let data: Vec<(Vec<f64>, u64)> = scale_up(&base, s)
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (v, i as u64))
+                .collect();
+            eprintln!("[fig7/9] {} ×{s}: n = {}", profile.name, data.len());
+
+            // PGBJ (exact kNN self-join in vector space).
+            let t = std::time::Instant::now();
+            let pgbj = pgbj_self_knn_join(
+                &data,
+                &PgbjConfig {
+                    num_pivots: 8,
+                    k: 10,
+                    ..PgbjConfig::default()
+                },
+            );
+            eprintln!("[fig7/9]   pgbj {:?}", t.elapsed());
+            pgbj_row.push(fmt_bytes(pgbj.metrics.total_traffic_bytes()));
+            pgbj_trow.push(fmt_duration(pgbj.metrics.elapsed));
+
+            // PMH-10.
+            let cfg = MrHaConfig {
+                partitions: 8,
+                ..MrHaConfig::default()
+            };
+            let t = std::time::Instant::now();
+            let pmh = pmh_hamming_join(&data, &data, 10, &cfg);
+            eprintln!("[fig7/9]   pmh  {:?}", t.elapsed());
+            pmh_row.push(fmt_bytes(pmh.metrics.total_traffic_bytes()));
+            pmh_trow.push(fmt_duration(pmh.times.total()));
+
+            // MRHA Option A / Option B.
+            let t = std::time::Instant::now();
+            let a = mrha_self_join(
+                &data,
+                &MrHaConfig {
+                    option: JoinOption::A,
+                    ..cfg.clone()
+                },
+            );
+            eprintln!("[fig7/9]   mrha-a {:?}", t.elapsed());
+            a_row.push(fmt_bytes(a.metrics.total_traffic_bytes()));
+            a_trow.push(fmt_duration(a.times.total()));
+            let t = std::time::Instant::now();
+            let b = mrha_self_join(
+                &data,
+                &MrHaConfig {
+                    option: JoinOption::B,
+                    ..cfg.clone()
+                },
+            );
+            eprintln!("[fig7/9]   mrha-b {:?}", t.elapsed());
+            b_row.push(fmt_bytes(b.metrics.total_traffic_bytes()));
+            b_trow.push(fmt_duration(b.times.total()));
+        }
+        shuffle_rows.extend([pgbj_row, pmh_row, a_row, b_row]);
+        time_rows.extend([pgbj_trow, pmh_trow, a_trow, b_trow]);
+
+        let headers: Vec<String> = std::iter::once("method".to_string())
+            .chain(SCALE_FACTORS.iter().map(|s| format!("×{s}")))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!(
+                "Figure 7{}: shuffle cost vs data size on {} (base n={base_n})",
+                ["a", "b", "c"][pi], profile.name
+            ),
+            &headers_ref,
+            &shuffle_rows,
+        );
+        print_table(
+            &format!(
+                "Figure 9{}: running time vs data size on {} (base n={base_n})",
+                ["a", "b", "c"][pi], profile.name
+            ),
+            &headers_ref,
+            &time_rows,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 8 — DHA-Index parameter study: build time (a) and query time (b)
+//! as functions of the H-Build window length (normalized by the tuple
+//! count, as in the paper's x-axis) and the index depth.
+//!
+//! Expected shapes (§6.1.3): build time grows with window size and with
+//! depth; query time grows gently — "the window size increases four times
+//! and the query processing time only grows by less than 10%".
+
+use ha_core::dynamic::{DhaConfig, DynamicHaIndex};
+use ha_core::HammingIndex;
+use ha_datagen::DatasetProfile;
+
+use crate::{fmt_duration, hashed_dataset, print_table, query_workload, time, time_per_call, Scale};
+
+const BASE_N: usize = 20_000;
+const CODE_LEN: usize = 32;
+/// The paper's normalized window lengths.
+const WINDOW_FRACTIONS: [f64; 5] = [0.005, 0.01, 0.02, 0.03, 0.04];
+const DEPTHS: [usize; 4] = [4, 5, 6, 7];
+
+/// Runs the Figure 8 sweep (on the NUS-WIDE profile).
+pub fn run(scale: &Scale) {
+    let n = scale.n(BASE_N);
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), n, CODE_LEN, 5000);
+    let queries = query_workload(&ds.codes, scale.queries.min(50), 5001);
+
+    let mut build_rows = Vec::new();
+    let mut query_rows = Vec::new();
+    for &depth in &DEPTHS {
+        let mut build_row = vec![format!("depth={depth}")];
+        let mut query_row = vec![format!("depth={depth}")];
+        for &frac in &WINDOW_FRACTIONS {
+            let window = ((n as f64 * frac) as usize).max(2);
+            let cfg = DhaConfig {
+                window,
+                max_depth: depth,
+                ..DhaConfig::default()
+            };
+            let (idx, build_time) =
+                time(|| DynamicHaIndex::build_with(ds.codes.clone(), cfg));
+            let mut qi = 0usize;
+            let qt = time_per_call(queries.len(), || {
+                std::hint::black_box(idx.search(&queries[qi % queries.len()], 3));
+                qi += 1;
+            });
+            build_row.push(fmt_duration(build_time));
+            query_row.push(fmt_duration(qt));
+        }
+        build_rows.push(build_row);
+        query_rows.push(query_row);
+    }
+
+    let headers: Vec<String> = std::iter::once("".to_string())
+        .chain(WINDOW_FRACTIONS.iter().map(|f| format!("w={f}·n")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 8a: DHA-Index building time (n={n})"),
+        &headers_ref,
+        &build_rows,
+    );
+    print_table(
+        &format!("Figure 8b: DHA-Index query time (n={n})"),
+        &headers_ref,
+        &query_rows,
+    );
+}

@@ -1,0 +1,142 @@
+//! Table 4 — the overall Hamming-select comparison: per method and
+//! dataset, the mean query time, the update time (delete one tuple, insert
+//! it back), and the memory footprint. 32-bit codes, h = 3, as in §6.1.1.
+
+use ha_bitcode::BinaryCode;
+use ha_core::{
+    DynamicHaIndex, HEngine, HammingIndex, HmSearch, LinearScanIndex, MultiHashTable,
+    MutableIndex, RadixTreeIndex, StaticHaIndex, TupleId,
+};
+use ha_datagen::DatasetProfile;
+
+use crate::{fmt_bytes, fmt_duration, hashed_dataset, print_table, query_workload, time_per_call, Scale};
+
+/// Base tuple count per dataset at `HA_SCALE=1` (paper: 270k–1M).
+const BASE_N: usize = 50_000;
+const H: u32 = 3;
+const CODE_LEN: usize = 32;
+
+/// One indexed method under test.
+struct Method {
+    label: &'static str,
+    index: Box<dyn IndexUnderTest>,
+}
+
+/// Object-safe union of the two traits the experiment needs.
+trait IndexUnderTest {
+    fn search(&self, q: &BinaryCode, h: u32) -> Vec<TupleId>;
+    fn update(&mut self, code: &BinaryCode, id: TupleId);
+    fn memory(&self) -> usize;
+}
+
+impl<T: HammingIndex + MutableIndex> IndexUnderTest for T {
+    fn search(&self, q: &BinaryCode, h: u32) -> Vec<TupleId> {
+        HammingIndex::search(self, q, h)
+    }
+    fn update(&mut self, code: &BinaryCode, id: TupleId) {
+        // Table 4's update = delete the tuple, then insert it back.
+        assert!(self.delete(code, id), "update target must exist");
+        self.insert(code.clone(), id);
+    }
+    fn memory(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+fn build_methods(codes: &[(BinaryCode, TupleId)]) -> Vec<Method> {
+    vec![
+        Method {
+            label: "Nested-Loops",
+            index: Box::new(LinearScanIndex::build(codes.to_vec())),
+        },
+        Method {
+            label: "MH-4",
+            index: Box::new(MultiHashTable::build(codes.to_vec(), 4)),
+        },
+        Method {
+            label: "MH-10",
+            index: Box::new(MultiHashTable::build(codes.to_vec(), 10)),
+        },
+        Method {
+            label: "HEngine",
+            index: Box::new(HEngine::build(codes.to_vec(), 2)),
+        },
+        Method {
+            label: "HmSearch",
+            index: Box::new(HmSearch::build(codes.to_vec(), 2)),
+        },
+        Method {
+            label: "Radix-Tree",
+            index: Box::new(RadixTreeIndex::build(codes.to_vec())),
+        },
+        Method {
+            label: "SHA-Index",
+            index: Box::new(StaticHaIndex::build(codes.to_vec())),
+        },
+        Method {
+            label: "DHA-Index",
+            index: Box::new(DynamicHaIndex::build(codes.to_vec())),
+        },
+    ]
+}
+
+/// Runs Table 4 over the three dataset profiles.
+pub fn run(scale: &Scale) {
+    for (pi, profile) in DatasetProfile::all().iter().enumerate() {
+        let n = scale.n(BASE_N);
+        let ds = hashed_dataset(profile, n, CODE_LEN, 1000 + pi as u64);
+        let queries = query_workload(&ds.codes, scale.queries, 2000 + pi as u64);
+
+        let mut rows = Vec::new();
+        for mut method in build_methods(&ds.codes) {
+            // Query time: mean over the workload.
+            let mut qi = 0usize;
+            let query_time = time_per_call(queries.len(), || {
+                let q = &queries[qi % queries.len()];
+                std::hint::black_box(method.index.search(q, H));
+                qi += 1;
+            });
+            // Update time: delete + reinsert rotating tuples.
+            let updates = 50.min(ds.codes.len());
+            let mut ui = 0usize;
+            let update_time = time_per_call(updates, || {
+                let (code, id) = &ds.codes[(ui * 37) % ds.codes.len()];
+                method.index.update(code, *id);
+                ui += 1;
+            });
+            let memory = method.index.memory();
+            // The DHA row additionally reports the leafless footprint
+            // (Table 4's "28/11" split).
+            let mem_str = if method.label == "DHA-Index" {
+                let leafless = DynamicHaIndex::build_with(
+                    ds.codes.clone(),
+                    ha_core::DhaConfig {
+                        keep_leaf_ids: false,
+                        ..ha_core::DhaConfig::default()
+                    },
+                );
+                format!(
+                    "{} / {}",
+                    fmt_bytes(memory),
+                    fmt_bytes(leafless.memory_bytes())
+                )
+            } else {
+                fmt_bytes(memory)
+            };
+            rows.push(vec![
+                method.label.to_string(),
+                fmt_duration(query_time),
+                fmt_duration(update_time),
+                mem_str,
+            ]);
+        }
+        print_table(
+            &format!(
+                "Table 4{}: Hamming-select on {} (n={}, L={CODE_LEN}, h={H})",
+                ["a", "b", "c"][pi], ds.name, n
+            ),
+            &["method", "query time", "update time", "space usage"],
+            &rows,
+        );
+    }
+}

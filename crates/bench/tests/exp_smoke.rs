@@ -1,0 +1,22 @@
+//! Smoke tests of the experiment harness: the cheap experiments run end to
+//! end and their internal assertions (e.g. Table 3's exact `{t0}` result)
+//! hold.
+
+#[test]
+fn table3_reproduces_the_paper_trace() {
+    // Prints the trace and asserts the final result set is exactly {t0}.
+    ha_bench::exp::table3::run();
+}
+
+#[test]
+fn harness_helpers() {
+    use ha_bench::{fmt_bytes, fmt_duration, hashed_dataset, query_workload};
+    use ha_datagen::DatasetProfile;
+
+    let ds = hashed_dataset(&DatasetProfile::tiny(8, 2), 128, 32, 1);
+    assert_eq!(ds.codes.len(), 128);
+    let qs = query_workload(&ds.codes, 16, 2);
+    assert_eq!(qs.len(), 16);
+    assert!(fmt_bytes(1536).contains("KB"));
+    assert!(fmt_duration(std::time::Duration::from_millis(5)).contains("ms"));
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced when constructing or combining bit codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitCodeError {
+    /// A code longer than [`crate::MAX_BITS`] was requested.
+    TooLong {
+        /// Requested length in bits.
+        requested: usize,
+    },
+    /// A zero-length code was requested where one is not meaningful.
+    Empty,
+    /// A string contained a character that is not `0`, `1`, or a
+    /// don't-care marker (`.` or `·`).
+    BadChar {
+        /// Offending character.
+        ch: char,
+        /// Byte offset in the input.
+        at: usize,
+    },
+    /// Two codes of different lengths were combined.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for BitCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitCodeError::TooLong { requested } => {
+                write!(
+                    f,
+                    "code length {requested} exceeds maximum of {} bits",
+                    crate::MAX_BITS
+                )
+            }
+            BitCodeError::Empty => write!(f, "zero-length binary code"),
+            BitCodeError::BadChar { ch, at } => {
+                write!(f, "invalid character {ch:?} at offset {at} (expected 0, 1, '.' or '·')")
+            }
+            BitCodeError::LengthMismatch { left, right } => {
+                write!(f, "code length mismatch: {left} vs {right} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BitCodeError {}

@@ -1,0 +1,204 @@
+//! Fixed-width segmentation of binary codes.
+//!
+//! Three of the indexes in this suite carve codes into contiguous segments:
+//!
+//! * the **Static HA-Index** shares equal segments at the same offset as
+//!   graph vertices;
+//! * **Manku's multi-hash-table** method keys each table on one segment
+//!   (if `hamming(a,b) <= h` and there are `h+1` segments, at least one
+//!   segment matches exactly — the pigeonhole filter);
+//! * **HEngine** relaxes that to segments within distance 1, halving the
+//!   number of tables needed.
+//!
+//! A [`Segmentation`] precomputes the offsets/widths once so hot query paths
+//! only do `extract` calls.
+
+use crate::BinaryCode;
+
+/// A partition of `[0, code_len)` into contiguous segments of width ≤ 64.
+///
+/// Widths are balanced: when `code_len` is not divisible by the segment
+/// count, the first `code_len % count` segments get one extra bit, mirroring
+/// how the reference implementations split codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    code_len: usize,
+    bounds: Vec<(usize, usize)>, // (start, width)
+}
+
+impl Segmentation {
+    /// Splits a `code_len`-bit code into `count` balanced segments.
+    ///
+    /// # Panics
+    /// If `count` is 0, exceeds `code_len`, or any segment would exceed
+    /// 64 bits (so segment values fit a `u64`).
+    pub fn new(code_len: usize, count: usize) -> Self {
+        assert!(count >= 1, "segment count must be >= 1");
+        assert!(count <= code_len, "more segments than bits");
+        let base = code_len / count;
+        let extra = code_len % count;
+        assert!(
+            base + usize::from(extra > 0) <= 64,
+            "segments wider than 64 bits are not supported"
+        );
+        let mut bounds = Vec::with_capacity(count);
+        let mut start = 0;
+        for i in 0..count {
+            let width = base + usize::from(i < extra);
+            bounds.push((start, width));
+            start += width;
+        }
+        debug_assert_eq!(start, code_len);
+        Segmentation { code_len, bounds }
+    }
+
+    /// Splits into segments of (at most) `width` bits each; the final
+    /// segment may be narrower. This is the Static HA-Index's
+    /// "static bit segmentation" with fixed segment size.
+    pub fn with_width(code_len: usize, width: usize) -> Self {
+        assert!((1..=64).contains(&width), "segment width must be 1..=64");
+        let mut bounds = Vec::with_capacity(code_len.div_ceil(width));
+        let mut start = 0;
+        while start < code_len {
+            let w = width.min(code_len - start);
+            bounds.push((start, w));
+            start += w;
+        }
+        Segmentation { code_len, bounds }
+    }
+
+    /// Number of segments.
+    pub fn count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Code length this segmentation applies to.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// `(start, width)` of segment `i`.
+    pub fn bounds(&self, i: usize) -> (usize, usize) {
+        self.bounds[i]
+    }
+
+    /// Extracts segment `i` of `code` as an integer (MSB-first).
+    #[inline]
+    pub fn extract(&self, code: &BinaryCode, i: usize) -> u64 {
+        let (start, width) = self.bounds[i];
+        code.extract(start, width)
+    }
+
+    /// Extracts every segment of `code`.
+    pub fn extract_all(&self, code: &BinaryCode) -> Vec<u64> {
+        (0..self.count()).map(|i| self.extract(code, i)).collect()
+    }
+
+    /// Hamming distance between `query`'s segment `i` and a stored segment
+    /// value.
+    #[inline]
+    pub fn segment_distance(&self, query: &BinaryCode, i: usize, stored: u64) -> u32 {
+        (self.extract(query, i) ^ stored).count_ones()
+    }
+
+    /// All values within Hamming distance 1 of `value` inside a
+    /// `width`-bit segment — `value` itself followed by its `width`
+    /// one-bit variants. Used by HEngine's query expansion.
+    pub fn one_bit_variants(value: u64, width: usize) -> impl Iterator<Item = u64> {
+        debug_assert!((1..=64).contains(&width));
+        std::iter::once(value).chain((0..width).map(move |b| value ^ (1u64 << b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_split() {
+        let s = Segmentation::new(9, 3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.bounds(0), (0, 3));
+        assert_eq!(s.bounds(1), (3, 3));
+        assert_eq!(s.bounds(2), (6, 3));
+    }
+
+    #[test]
+    fn uneven_split_front_loads_extra_bits() {
+        let s = Segmentation::new(10, 3);
+        assert_eq!(s.bounds(0), (0, 4));
+        assert_eq!(s.bounds(1), (4, 3));
+        assert_eq!(s.bounds(2), (7, 3));
+    }
+
+    #[test]
+    fn with_width_covers_whole_code() {
+        let s = Segmentation::with_width(9, 3);
+        assert_eq!(s.count(), 3);
+        let s = Segmentation::with_width(10, 4);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.bounds(2), (8, 2));
+    }
+
+    #[test]
+    fn extract_paper_example() {
+        // "the binary code for tuple t2 is divided into three segments,
+        //  '011', '001' and '100'" (§4.3).
+        let t2: BinaryCode = "011001100".parse().unwrap();
+        let s = Segmentation::new(9, 3);
+        assert_eq!(s.extract(&t2, 0), 0b011);
+        assert_eq!(s.extract(&t2, 1), 0b001);
+        assert_eq!(s.extract(&t2, 2), 0b100);
+        assert_eq!(s.extract_all(&t2), vec![0b011, 0b001, 0b100]);
+    }
+
+    #[test]
+    fn one_bit_variants_count_and_distance() {
+        let vs: Vec<u64> = Segmentation::one_bit_variants(0b1010, 4).collect();
+        assert_eq!(vs.len(), 5);
+        assert_eq!(vs[0], 0b1010);
+        for v in &vs[1..] {
+            assert_eq!((v ^ 0b1010u64).count_ones(), 1);
+        }
+        // All distinct.
+        let set: std::collections::HashSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "more segments than bits")]
+    fn too_many_segments_panics() {
+        Segmentation::new(4, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segments_partition_the_code(
+            seed in any::<u64>(), len in 2usize..300, count in 1usize..16
+        ) {
+            let count = count.min(len).max(len.div_ceil(64));
+            let s = Segmentation::new(len, count);
+            // Coverage + disjointness.
+            let mut covered = vec![false; len];
+            for i in 0..s.count() {
+                let (start, width) = s.bounds(i);
+                for (b, cell) in covered.iter_mut().enumerate().skip(start).take(width) {
+                    prop_assert!(!*cell, "overlap at {b}");
+                    *cell = true;
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c));
+            // Segment distances sum to the full distance.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = BinaryCode::random(len, &mut rng);
+            let b = BinaryCode::random(len, &mut rng);
+            let total: u32 = (0..s.count())
+                .map(|i| (s.extract(&a, i) ^ s.extract(&b, i)).count_ones())
+                .sum();
+            prop_assert_eq!(total, a.hamming(&b));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! H-Build (Algorithm 1): bulk-loading the Dynamic HA-Index.
+//!
+//! 1. Group tuples by distinct code and sort the codes in **Gray order**
+//!    (non-decreasing Gray rank) so neighbours share long FLSSeqs.
+//! 2. Slide a `w`-slot window over the current level; each window's members
+//!    either share a non-vacuous maximal FLSSeq — which becomes their
+//!    parent, the members keeping only residual bits — or they are linked
+//!    to the top level of the index directly (Algorithm 1 line 16).
+//! 3. Parents with identical patterns are consolidated into one node with
+//!    summed frequency (lines 6–11).
+//! 4. Repeat on the freshly created parents until the requested depth is
+//!    reached or no further sharing exists; whatever remains forms the top
+//!    level.
+
+use std::collections::HashMap;
+
+use ha_bitcode::gray::gray_rank;
+use ha_bitcode::{BinaryCode, MaskedCode};
+
+use super::{DhaConfig, DynamicHaIndex, Node, NodeId};
+use crate::TupleId;
+
+pub(super) fn h_build(
+    items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+    config: DhaConfig,
+) -> DynamicHaIndex {
+    // Group by distinct code.
+    let mut groups: HashMap<BinaryCode, Vec<TupleId>> = HashMap::new();
+    let mut total = 0usize;
+    let mut code_len = 0usize;
+    for (code, id) in items {
+        if code_len == 0 {
+            code_len = code.len();
+        } else {
+            assert_eq!(code.len(), code_len, "mixed code lengths");
+        }
+        groups.entry(code).or_default().push(id);
+        total += 1;
+    }
+
+    let mut idx = DynamicHaIndex::empty(code_len, config);
+    idx.len = total;
+    if total == 0 {
+        return idx;
+    }
+
+    // Gray-order the distinct codes (Algorithm 1 line 1).
+    let mut distinct: Vec<(BinaryCode, Vec<TupleId>)> = groups.into_iter().collect();
+    distinct.sort_by_cached_key(|(c, _)| gray_rank(c));
+
+    // Leaf level.
+    let mut current: Vec<NodeId> = Vec::with_capacity(distinct.len());
+    for (code, ids) in distinct {
+        let frequency = ids.len() as u32;
+        let pattern = MaskedCode::full(code.clone());
+        let stored_ids = if idx.config.keep_leaf_ids { ids } else { Vec::new() };
+        let nid = alloc(&mut idx, Node::leaf(pattern, code.clone(), stored_ids, frequency));
+        if idx.config.keep_leaf_ids {
+            idx.leaves.insert(code, nid);
+        }
+        current.push(nid);
+    }
+
+    // Extraction levels (lines 3–24).
+    let window = idx.config.window.max(2);
+    let max_depth = idx.config.max_depth.max(1);
+    for _depth in 0..max_depth {
+        if current.len() <= 1 {
+            break;
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        // Consolidation map for this level (lines 6–11).
+        let mut intern: HashMap<MaskedCode, NodeId> = HashMap::new();
+        let mut chunk_start = 0usize;
+        while chunk_start < current.len() {
+            let chunk = &current[chunk_start..(chunk_start + window).min(current.len())];
+            chunk_start += window;
+            if chunk.len() == 1 {
+                // A lone trailing node just rides up to the next level.
+                next.push(chunk[0]);
+                continue;
+            }
+            let common = MaskedCode::common_of(
+                chunk.iter().map(|&n| &idx.nodes[n as usize].pattern),
+            )
+            .expect("non-empty chunk");
+            if common.is_vacuous() {
+                // No shared FLSSeq: link members to the top level
+                // (line 16).
+                idx.roots.extend_from_slice(chunk);
+                continue;
+            }
+            // Members keep only residual bits (line 5's child update).
+            let chunk_freq: u32 = chunk
+                .iter()
+                .map(|&n| idx.nodes[n as usize].frequency)
+                .sum();
+            for &member in chunk {
+                let node = &mut idx.nodes[member as usize];
+                node.pattern = node.pattern.subtract(common.mask());
+            }
+            match intern.entry(common.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let pid = *e.get();
+                    let parent = &mut idx.nodes[pid as usize];
+                    parent.children.extend_from_slice(chunk);
+                    parent.frequency += chunk_freq;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let mut parent = Node::internal(common);
+                    parent.children.extend_from_slice(chunk);
+                    parent.frequency = chunk_freq;
+                    let pid = alloc_raw(&mut idx.nodes, parent);
+                    e.insert(pid);
+                    next.push(pid);
+                }
+            }
+        }
+        if next.is_empty() {
+            current = next;
+            break;
+        }
+        current = next;
+    }
+    idx.roots.extend(current);
+    idx
+}
+
+fn alloc(idx: &mut DynamicHaIndex, node: Node) -> NodeId {
+    alloc_raw(&mut idx.nodes, node)
+}
+
+pub(super) fn alloc_raw(nodes: &mut Vec<Node>, node: Node) -> NodeId {
+    let id = nodes.len() as NodeId;
+    nodes.push(node);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{clustered_dataset, paper_table_s, random_dataset};
+    use crate::HammingIndex;
+
+    #[test]
+    fn build_paper_example_and_check_invariants() {
+        let idx = DynamicHaIndex::build(paper_table_s());
+        idx.check_invariants();
+        assert_eq!(idx.len(), 8);
+        assert_eq!(idx.leaf_count(), 8);
+        assert!(idx.internal_node_count() >= 1, "some sharing must occur");
+    }
+
+    #[test]
+    fn build_with_small_window_mimics_figure_3() {
+        // Window of 2 over the Gray-sorted running example: adjacent pairs
+        // (t0-like neighbours) must share parents, giving a multi-level
+        // forest like Figure 3.
+        let idx = DynamicHaIndex::build_with(
+            paper_table_s(),
+            DhaConfig {
+                window: 2,
+                max_depth: 4,
+                ..DhaConfig::default()
+            },
+        );
+        idx.check_invariants();
+        assert!(idx.depth() >= 2, "depth {}", idx.depth());
+        assert!(idx.internal_node_count() >= 3);
+    }
+
+    #[test]
+    fn build_groups_duplicate_codes_into_one_leaf() {
+        let c: BinaryCode = "10101010".parse().unwrap();
+        let d: BinaryCode = "10101011".parse().unwrap();
+        let idx = DynamicHaIndex::build([
+            (c.clone(), 1),
+            (c.clone(), 2),
+            (d.clone(), 3),
+        ]);
+        idx.check_invariants();
+        assert_eq!(idx.leaf_count(), 2, "two distinct codes");
+        assert_eq!(idx.len(), 3, "three tuples");
+        // Frequencies: the duplicate leaf counts 2.
+        let leaf = idx.leaves[&c];
+        assert_eq!(idx.nodes[leaf as usize].frequency, 2);
+    }
+
+    #[test]
+    fn depth_respects_max_depth() {
+        let data = clustered_dataset(500, 32, 4, 2, 3);
+        for md in [1usize, 2, 4] {
+            let idx = DynamicHaIndex::build_with(
+                data.clone(),
+                DhaConfig {
+                    window: 4,
+                    max_depth: md,
+                    ..DhaConfig::default()
+                },
+            );
+            idx.check_invariants();
+            assert!(
+                idx.depth() <= md + 1,
+                "max_depth {md} produced depth {}",
+                idx.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_build() {
+        let idx = DynamicHaIndex::build(std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.leaf_count(), 0);
+    }
+
+    #[test]
+    fn leafless_build_keeps_counts_not_ids() {
+        let data = random_dataset(100, 32, 44);
+        let idx = DynamicHaIndex::build_with(
+            data,
+            DhaConfig {
+                keep_leaf_ids: false,
+                ..DhaConfig::default()
+            },
+        );
+        idx.check_invariants();
+        assert_eq!(idx.len(), 100);
+        assert!(idx.leaves.is_empty(), "no leaf hash table in leafless mode");
+        // Memory split: payload (ids + hash table) must be tiny.
+        let report = idx.memory_report();
+        assert!(report.payload_bytes < report.structure_bytes);
+    }
+
+    #[test]
+    fn clustered_data_builds_fewer_internal_nodes_than_leaves() {
+        let data = clustered_dataset(2000, 32, 8, 2, 5);
+        let idx = DynamicHaIndex::build(data);
+        idx.check_invariants();
+        assert!(
+            idx.internal_node_count() < idx.leaf_count(),
+            "internal {} vs leaves {}",
+            idx.internal_node_count(),
+            idx.leaf_count()
+        );
+    }
+
+    #[test]
+    fn uniform_random_data_still_valid() {
+        let data = random_dataset(1000, 64, 91);
+        let idx = DynamicHaIndex::build(data);
+        idx.check_invariants();
+        assert_eq!(idx.leaf_count(), 1000); // collisions vanishingly unlikely
+    }
+}

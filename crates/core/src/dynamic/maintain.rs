@@ -1,0 +1,282 @@
+//! H-Insert and H-Delete (§4.5, Algorithm 2), plus the insert buffer.
+//!
+//! Deletion note: Algorithm 2 as printed decrements the frequency of
+//! *every* node whose pattern bit-matches the deleted tuple, which can
+//! over-decrement when unrelated subtrees happen to match. We instead
+//! locate the exact root-to-leaf path of the tuple's code (a depth-first
+//! search using `bitmatch` to steer, exactly like the algorithm) and
+//! decrement only along that path — same traversal, strictly correct
+//! bookkeeping.
+
+use ha_bitcode::BinaryCode;
+
+use super::{DynamicHaIndex, NodeId};
+use crate::TupleId;
+
+/// Depth-first search for the path from some root to `target`, following
+/// only nodes whose pattern bit-matches `code` (Algorithm 2's `bitmatch`).
+fn path_to_leaf(idx: &DynamicHaIndex, target: NodeId, code: &BinaryCode) -> Option<Vec<NodeId>> {
+    fn dfs(
+        idx: &DynamicHaIndex,
+        node: NodeId,
+        target: NodeId,
+        code: &BinaryCode,
+        path: &mut Vec<NodeId>,
+    ) -> bool {
+        let n = &idx.nodes[node as usize];
+        if !n.alive || !n.pattern.matches(code) {
+            return false;
+        }
+        path.push(node);
+        if node == target {
+            return true;
+        }
+        for &c in &n.children {
+            if dfs(idx, c, target, code, path) {
+                return true;
+            }
+        }
+        path.pop();
+        false
+    }
+
+    let mut path = Vec::new();
+    for &root in &idx.roots {
+        if dfs(idx, root, target, code, &mut path) {
+            return Some(path);
+        }
+        debug_assert!(path.is_empty());
+    }
+    None
+}
+
+pub(super) fn h_insert(idx: &mut DynamicHaIndex, code: BinaryCode, id: TupleId) {
+    if idx.code_len == 0 {
+        idx.code_len = code.len();
+    }
+    assert_eq!(code.len(), idx.code_len, "code length mismatch");
+    // Fast path: the code already has a leaf — extend it and bump
+    // frequencies along its path.
+    if idx.config.keep_leaf_ids {
+        if let Some(&leaf) = idx.leaves.get(&code) {
+            let path =
+                path_to_leaf(idx, leaf, &code).expect("leaf map entry must be reachable");
+            for nid in path {
+                idx.nodes[nid as usize].frequency += 1;
+            }
+            idx.nodes[leaf as usize]
+                .leaf
+                .as_mut()
+                .expect("leaf node")
+                .ids
+                .push(id);
+            idx.len += 1;
+            return;
+        }
+    }
+    // Otherwise buffer; searches scan the buffer until it is flushed.
+    idx.buffer.push((code, id));
+    if idx.buffer.len() >= idx.config.insert_buffer_cap {
+        flush_buffer(idx);
+    }
+}
+
+/// Bulk-builds the buffered tuples into a mini HA-Index and merges it in
+/// ("a process similar to H-Build is invoked to append these newly
+/// inserted tuples into the existing HA-Index").
+pub(super) fn flush_buffer(idx: &mut DynamicHaIndex) {
+    if idx.buffer.is_empty() {
+        return;
+    }
+    let pending = std::mem::take(&mut idx.buffer);
+    let mini = DynamicHaIndex::build_with(pending, idx.config.clone());
+    super::merge::merge_into(idx, mini);
+}
+
+pub(super) fn h_delete(idx: &mut DynamicHaIndex, code: &BinaryCode, id: TupleId) -> bool {
+    // Buffered tuples are deleted from the buffer directly.
+    if let Some(pos) = idx
+        .buffer
+        .iter()
+        .position(|(c, i)| *i == id && c == code)
+    {
+        idx.buffer.swap_remove(pos);
+        return true;
+    }
+    let Some(&leaf) = idx.leaves.get(code) else {
+        return false;
+    };
+    {
+        let data = idx.nodes[leaf as usize].leaf.as_ref().expect("leaf node");
+        if !data.ids.contains(&id) {
+            return false;
+        }
+    }
+    let path = path_to_leaf(idx, leaf, code).expect("leaf map entry must be reachable");
+    // Decrement frequencies along the actual path (Algorithm 2 lines 5/16,
+    // restricted to the true containing path).
+    for &nid in &path {
+        idx.nodes[nid as usize].frequency -= 1;
+    }
+    let data = idx.nodes[leaf as usize].leaf.as_mut().expect("leaf node");
+    let pos = data.ids.iter().position(|&x| x == id).expect("checked above");
+    data.ids.swap_remove(pos);
+    idx.len -= 1;
+
+    // "If one node contains 0 or less entries, it is removed."
+    if idx.nodes[leaf as usize].frequency == 0 {
+        idx.nodes[leaf as usize].alive = false;
+        idx.leaves.remove(code);
+        // Unlink dead nodes bottom-up; an internal node dies when it has no
+        // live children left.
+        for j in (0..path.len().saturating_sub(1)).rev() {
+            let parent = path[j];
+            let child = path[j + 1];
+            if !idx.nodes[child as usize].alive {
+                idx.nodes[parent as usize].children.retain(|&c| c != child);
+            }
+            let p = &idx.nodes[parent as usize];
+            if p.leaf.is_none() && p.children.is_empty() {
+                idx.nodes[parent as usize].alive = false;
+            } else {
+                break;
+            }
+        }
+        let head = path[0];
+        if !idx.nodes[head as usize].alive {
+            idx.roots.retain(|&r| r != head);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{assert_matches_oracle, paper_table_s, random_dataset};
+    use crate::{DhaConfig, HammingIndex, MutableIndex};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn delete_then_reinsert_restores_results() {
+        let data = paper_table_s();
+        let mut idx = DynamicHaIndex::build(data.clone());
+        let (code, id) = data[3].clone();
+        assert!(idx.delete(&code, id));
+        assert!(!idx.delete(&code, id), "double delete fails");
+        let q: BinaryCode = "101100010".parse().unwrap();
+        let mut got = idx.search(&q, 3);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 4, 6], "t3 gone");
+        idx.insert(code, id);
+        assert_matches_oracle(idx.search(&q, 3), &data, &q, 3, "dha-after-reinsert");
+    }
+
+    #[test]
+    fn buffered_inserts_are_searchable_immediately() {
+        let mut idx = DynamicHaIndex::build(paper_table_s());
+        let fresh: BinaryCode = "101100011".parse().unwrap();
+        idx.insert(fresh.clone(), 100);
+        // Still buffered (small insert count), but searches must see it.
+        assert!(!idx.buffer.is_empty());
+        assert!(idx.search(&fresh, 0).contains(&100));
+        assert_eq!(idx.len(), 9);
+        // Deleting a buffered tuple works too.
+        assert!(idx.delete(&fresh, 100));
+        assert!(idx.search(&fresh, 0).is_empty());
+    }
+
+    #[test]
+    fn buffer_flush_preserves_results() {
+        let data = random_dataset(200, 32, 81);
+        let (initial, late) = data.split_at(100);
+        let mut idx = DynamicHaIndex::build_with(
+            initial.to_vec(),
+            DhaConfig {
+                insert_buffer_cap: 16, // force several flushes
+                ..DhaConfig::default()
+            },
+        );
+        for (c, id) in late {
+            idx.insert(c.clone(), *id);
+        }
+        idx.flush();
+        assert!(idx.buffer.is_empty());
+        idx.check_invariants();
+        let mut rng = StdRng::seed_from_u64(82);
+        for h in [0, 3, 6] {
+            let q = BinaryCode::random(32, &mut rng);
+            assert_matches_oracle(idx.search(&q, h), &data, &q, h, "dha-flushed");
+        }
+    }
+
+    #[test]
+    fn incremental_build_equals_bulk_build_results() {
+        let data = random_dataset(150, 32, 83);
+        let bulk = DynamicHaIndex::build(data.clone());
+        let mut inc = DynamicHaIndex::empty(32, DhaConfig {
+            insert_buffer_cap: 32,
+            ..DhaConfig::default()
+        });
+        for (c, id) in &data {
+            inc.insert(c.clone(), *id);
+        }
+        inc.flush();
+        inc.check_invariants();
+        let mut rng = StdRng::seed_from_u64(84);
+        for _ in 0..8 {
+            let q = BinaryCode::random(32, &mut rng);
+            let h = rng.gen_range(0..8);
+            let mut a = bulk.search(&q, h);
+            let mut b = inc.search(&q, h);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "h={h}");
+        }
+    }
+
+    #[test]
+    fn delete_all_tuples_empties_forest() {
+        let data = random_dataset(80, 24, 85);
+        let mut idx = DynamicHaIndex::build(data.clone());
+        for (c, id) in &data {
+            assert!(idx.delete(c, *id), "delete {id}");
+        }
+        assert_eq!(idx.len(), 0);
+        assert!(idx.roots.is_empty(), "all roots should be gone");
+        let q = BinaryCode::zero(24);
+        assert!(idx.search(&q, 24).is_empty());
+    }
+
+    #[test]
+    fn frequencies_track_subtree_sizes() {
+        let data = paper_table_s();
+        let mut idx = DynamicHaIndex::build(data.clone());
+        let total: u32 = idx
+            .roots
+            .iter()
+            .map(|&r| idx.nodes[r as usize].frequency)
+            .sum();
+        assert_eq!(total, 8);
+        idx.delete(&data[0].0, 0);
+        let total: u32 = idx
+            .roots
+            .iter()
+            .map(|&r| idx.nodes[r as usize].frequency)
+            .sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn duplicate_code_insert_takes_fast_path() {
+        let data = paper_table_s();
+        let mut idx = DynamicHaIndex::build(data.clone());
+        // Re-insert an existing code with a new id: no buffering needed.
+        idx.insert(data[2].0.clone(), 55);
+        assert!(idx.buffer.is_empty(), "fast path should not buffer");
+        let mut got = idx.search(&data[2].0, 0);
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 55]);
+    }
+}

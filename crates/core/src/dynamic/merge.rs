@@ -1,0 +1,226 @@
+//! Merging HA-Indexes (§5.2): "non-leaf nodes with the same FLSSeq from the
+//! different local HA-Indexes are merged into one node, and the
+//! corresponding edges between the index nodes are relinked."
+//!
+//! The merge is recursive and top-down: two nodes are consolidated only
+//! when their patterns are identical **and** their ancestor chains were
+//! already consolidated, which preserves the path invariant (disjoint
+//! masks, full coverage) that makes H-Search distances exact. Divergent
+//! subtrees are simply adopted as new children, so the result is still a
+//! tree and every original root-to-leaf chain survives verbatim.
+
+use super::{DynamicHaIndex, NodeId};
+
+pub(super) fn merge_into(dst: &mut DynamicHaIndex, src: DynamicHaIndex) {
+    if src.nodes.is_empty() && src.buffer.is_empty() {
+        return;
+    }
+    if dst.code_len == 0 {
+        dst.code_len = src.code_len;
+    }
+    assert_eq!(dst.code_len, src.code_len, "merging different code lengths");
+
+    // Graft the source arena onto the destination with an id offset.
+    let offset = dst.nodes.len() as NodeId;
+    dst.nodes.extend(src.nodes.into_iter().map(|mut n| {
+        for c in &mut n.children {
+            *c += offset;
+        }
+        n
+    }));
+    dst.len += src.len;
+    dst.buffer.extend(src.buffer);
+    // Provisional leaf-map entries; consolidation below re-points merged
+    // leaves at their surviving node.
+    if dst.config.keep_leaf_ids {
+        for (code, leaf) in src.leaves {
+            dst.leaves.insert(code, leaf + offset);
+        }
+    }
+
+    // Consolidate each incoming root with an existing one where possible.
+    for root in src.roots {
+        let root = root + offset;
+        let existing = dst.roots.iter().copied().find(|&r| mergeable(dst, r, root));
+        match existing {
+            Some(into) => merge_nodes(dst, into, root),
+            None => dst.roots.push(root),
+        }
+    }
+}
+
+/// Nodes are mergeable when both are alive, have identical patterns, and
+/// are of the same kind (leaf codes must also be identical — equal residual
+/// patterns under different chains do not imply equal codes).
+fn mergeable(idx: &DynamicHaIndex, a: NodeId, b: NodeId) -> bool {
+    let na = &idx.nodes[a as usize];
+    let nb = &idx.nodes[b as usize];
+    if !na.alive || !nb.alive || na.pattern != nb.pattern {
+        return false;
+    }
+    match (&na.leaf, &nb.leaf) {
+        (None, None) => true,
+        (Some(la), Some(lb)) => la.code == lb.code,
+        _ => false,
+    }
+}
+
+/// Consolidates `b` into `a` (both alive, mergeable). `b`'s children are
+/// adopted — merged recursively with pattern-equal children of `a`, or
+/// appended.
+fn merge_nodes(idx: &mut DynamicHaIndex, a: NodeId, b: NodeId) {
+    debug_assert!(mergeable(idx, a, b));
+    let b_node = {
+        let n = &mut idx.nodes[b as usize];
+        n.alive = false;
+        (n.frequency, n.children.split_off(0), n.leaf.take())
+    };
+    let (b_freq, b_children, b_leaf) = b_node;
+    idx.nodes[a as usize].frequency += b_freq;
+
+    if let Some(mut leaf) = b_leaf {
+        // Leaf + leaf: concatenate id lists, re-point the leaf map.
+        let a_node = &mut idx.nodes[a as usize];
+        let code = leaf.code.clone();
+        a_node
+            .leaf
+            .as_mut()
+            .expect("mergeable guarantees same kind")
+            .ids
+            .append(&mut leaf.ids);
+        if idx.config.keep_leaf_ids {
+            idx.leaves.insert(code, a);
+        }
+        return;
+    }
+
+    for bc in b_children {
+        let target = idx.nodes[a as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&ac| mergeable(idx, ac, bc));
+        match target {
+            Some(into) => merge_nodes(idx, into, bc),
+            None => idx.nodes[a as usize].children.push(bc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{assert_matches_oracle, clustered_dataset, random_dataset};
+    use crate::{DhaConfig, HammingIndex};
+    use ha_bitcode::BinaryCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn merge_two_partitions_equals_single_build() {
+        let data = random_dataset(200, 32, 91);
+        let (p1, p2) = data.split_at(100);
+        let mut a = DynamicHaIndex::build(p1.to_vec());
+        let b = DynamicHaIndex::build(p2.to_vec());
+        a.merge_from(b);
+        a.check_invariants();
+        assert_eq!(a.len(), 200);
+        let mut rng = StdRng::seed_from_u64(92);
+        for h in [0, 2, 5, 10] {
+            let q = BinaryCode::random(32, &mut rng);
+            assert_matches_oracle(a.search(&q, h), &data, &q, h, "dha-merged");
+        }
+    }
+
+    #[test]
+    fn merge_consolidates_shared_patterns() {
+        // Two partitions of the *same* clustered data must share patterns;
+        // the merged index should have fewer nodes than the sum of parts.
+        let data = clustered_dataset(400, 32, 3, 2, 93);
+        let (p1, p2) = data.split_at(200);
+        let a = DynamicHaIndex::build(p1.to_vec());
+        let b = DynamicHaIndex::build(p2.to_vec());
+        let separate = a.internal_node_count() + b.internal_node_count();
+        let merged = DynamicHaIndex::merge_all(vec![a, b]);
+        merged.check_invariants();
+        assert!(
+            merged.internal_node_count() <= separate,
+            "merged {} vs separate {}",
+            merged.internal_node_count(),
+            separate
+        );
+    }
+
+    #[test]
+    fn merge_many_partitions() {
+        let data = random_dataset(300, 32, 94);
+        let parts: Vec<DynamicHaIndex> = data
+            .chunks(60)
+            .map(|chunk| DynamicHaIndex::build(chunk.to_vec()))
+            .collect();
+        let idx = DynamicHaIndex::merge_all(parts);
+        idx.check_invariants();
+        assert_eq!(idx.len(), 300);
+        let mut rng = StdRng::seed_from_u64(95);
+        let q = BinaryCode::random(32, &mut rng);
+        assert_matches_oracle(idx.search(&q, 4), &data, &q, 4, "dha-merge-many");
+    }
+
+    #[test]
+    fn merge_handles_duplicate_codes_across_partitions() {
+        let code: BinaryCode = "11001100110011001100110011001100".parse().unwrap();
+        let mut a = DynamicHaIndex::build([(code.clone(), 1)]);
+        let b = DynamicHaIndex::build([(code.clone(), 2)]);
+        a.merge_from(b);
+        a.check_invariants();
+        let mut got = a.search(&code, 0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(a.leaf_count(), 1, "same code consolidates into one leaf");
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_everything() {
+        let data = random_dataset(50, 32, 96);
+        let mut empty = DynamicHaIndex::empty(32, DhaConfig::default());
+        empty.merge_from(DynamicHaIndex::build(data.clone()));
+        empty.check_invariants();
+        assert_eq!(empty.len(), 50);
+        let mut rng = StdRng::seed_from_u64(97);
+        let q = BinaryCode::random(32, &mut rng);
+        assert_matches_oracle(empty.search(&q, 6), &data, &q, 6, "dha-into-empty");
+    }
+
+    #[test]
+    fn merged_index_supports_maintenance() {
+        use crate::MutableIndex;
+        let data = random_dataset(120, 32, 98);
+        let (p1, p2) = data.split_at(60);
+        let mut idx = DynamicHaIndex::build(p1.to_vec());
+        idx.merge_from(DynamicHaIndex::build(p2.to_vec()));
+        let (code, id) = data[30].clone();
+        assert!(idx.delete(&code, id));
+        idx.insert(code.clone(), id);
+        let mut rng = StdRng::seed_from_u64(99);
+        let q = BinaryCode::random(32, &mut rng);
+        assert_matches_oracle(idx.search(&q, 4), &data, &q, 4, "dha-merged-maint");
+        // Random maintenance storm.
+        let mut live: Vec<(BinaryCode, u64)> = data.clone();
+        for step in 0..40 {
+            let pos = rng.gen_range(0..live.len());
+            let (c, i) = live[pos].clone();
+            if step % 3 == 0 {
+                assert!(idx.delete(&c, i));
+                live.remove(pos);
+            } else {
+                let nid = 1000 + step as u64;
+                idx.insert(c.clone(), nid);
+                live.push((c, nid));
+            }
+        }
+        idx.flush();
+        idx.check_invariants();
+        let q = BinaryCode::random(32, &mut rng);
+        assert_matches_oracle(idx.search(&q, 5), &live, &q, 5, "dha-storm");
+    }
+}

@@ -1,0 +1,343 @@
+//! The Dynamic HA-Index (§4.4–4.7) — the paper's primary contribution.
+//!
+//! Codes are sorted in **Gray order** (clustering property, Prop. 2) and a
+//! sliding window extracts the maximal **FLSSeq** each window shares; the
+//! shared pattern becomes a parent node and the members keep only their
+//! *residual* bits. Repeating the extraction level by level yields a forest
+//! whose key invariant is:
+//!
+//! > Along every root-to-leaf path, node patterns have pairwise **disjoint
+//! > masks whose union covers all L bit positions** — so the sum of masked
+//! > distances along a path is the *exact* Hamming distance of the leaf
+//! > code, and any prefix sum is a lower bound (Prop. 1, downward closure).
+//!
+//! [`search`](DynamicHaIndex::search) (H-Search, Algorithm 3) walks the
+//! forest breadth-first, pruning a whole subtree the moment its accumulated
+//! lower bound exceeds the threshold. Build, insert, delete and merge live
+//! in the sibling modules:
+//!
+//! * `build` — H-Build (Algorithm 1), bulk loading;
+//! * `search` — H-Search plus the execution-trace variant behind Table 3;
+//! * `maintain` — H-Insert / H-Delete (Algorithm 2) and the insert buffer;
+//! * `merge` — combining per-partition indexes into the global HA-Index
+//!   used by the MapReduce join (§5.2).
+
+mod build;
+mod maintain;
+mod merge;
+mod node;
+mod search;
+mod serialize;
+
+pub use search::{TraceEvent, TraceStep};
+pub use serialize::DecodeError;
+
+use std::collections::HashMap;
+
+use ha_bitcode::BinaryCode;
+
+use crate::memory::{map_bytes, vec_bytes, MemoryReport};
+use crate::{HammingIndex, MutableIndex, TupleId};
+
+pub(crate) use node::{Node, NodeId};
+
+/// Tuning knobs of the Dynamic HA-Index (the Figure 8 parameters).
+#[derive(Clone, Debug)]
+pub struct DhaConfig {
+    /// Sliding-window size `w` of H-Build: how many adjacent (in Gray
+    /// order) nodes are examined for a shared FLSSeq per window.
+    pub window: usize,
+    /// Maximum index depth `md`: number of extraction levels above the
+    /// leaves.
+    pub max_depth: usize,
+    /// Keep per-leaf tuple-id lists (the leaf hash table of §4.5). The
+    /// leafless variant (`false`) is Option B of the MapReduce join: search
+    /// returns qualifying *codes* and ids are resolved by a post-join.
+    pub keep_leaf_ids: bool,
+    /// H-Insert buffers codes that share no FLSSeq with an existing leaf;
+    /// when the buffer reaches this size it is bulk-built and merged in.
+    pub insert_buffer_cap: usize,
+}
+
+impl Default for DhaConfig {
+    fn default() -> Self {
+        DhaConfig {
+            window: 8,
+            max_depth: 8,
+            keep_leaf_ids: true,
+            insert_buffer_cap: 256,
+        }
+    }
+}
+
+/// The Dynamic HA-Index.
+#[derive(Clone, Debug)]
+pub struct DynamicHaIndex {
+    pub(crate) code_len: usize,
+    pub(crate) nodes: Vec<Node>,
+    /// Top-level entries of the forest (Algorithm 3 starts here).
+    pub(crate) roots: Vec<NodeId>,
+    /// Distinct full code → leaf node (the leaf hash table; present iff
+    /// `config.keep_leaf_ids`).
+    pub(crate) leaves: HashMap<BinaryCode, NodeId>,
+    /// Pending inserts not yet reflected in the tree (searched linearly).
+    pub(crate) buffer: Vec<(BinaryCode, TupleId)>,
+    pub(crate) config: DhaConfig,
+    pub(crate) len: usize,
+}
+
+impl DynamicHaIndex {
+    /// Bulk-loads with the default configuration (H-Build).
+    pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
+        Self::build_with(items, DhaConfig::default())
+    }
+
+    /// Bulk-loads with an explicit configuration.
+    pub fn build_with(
+        items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+        config: DhaConfig,
+    ) -> Self {
+        build::h_build(items, config)
+    }
+
+    /// Empty index for `code_len`-bit codes.
+    pub fn empty(code_len: usize, config: DhaConfig) -> Self {
+        DynamicHaIndex {
+            code_len,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            leaves: HashMap::new(),
+            buffer: Vec::new(),
+            config,
+            len: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DhaConfig {
+        &self.config
+    }
+
+    /// Number of live internal (non-leaf) nodes — |V| of the §4.7 analysis.
+    pub fn internal_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && n.leaf.is_none())
+            .count()
+    }
+
+    /// Number of live leaf nodes (distinct codes).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && n.leaf.is_some())
+            .count()
+    }
+
+    /// Depth of the forest (longest root-to-leaf path, in edges).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: NodeId) -> usize {
+            let n = &nodes[id as usize];
+            1 + n
+                .children
+                .iter()
+                .map(|&c| depth_of(nodes, c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.roots
+            .iter()
+            .map(|&r| depth_of(&self.nodes, r))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Search returning the qualifying distinct **codes** and their exact
+    /// distances — works in both leafy and leafless modes (Option B of the
+    /// MapReduce join resolves ids afterwards).
+    pub fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        search::h_search_codes(self, query, h)
+    }
+
+    /// Search returning `(id, exact Hamming distance)` pairs. The distance
+    /// comes straight off the root-to-leaf path sum (the masks partition
+    /// the bit positions), so ranking costs nothing extra — this is what
+    /// the kNN layers build on.
+    pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        search::h_search_with_distances(self, query, h)
+    }
+
+    /// H-Search with a recorded execution trace (the Table 3
+    /// reproduction). Returns the qualifying ids plus one [`TraceStep`] per
+    /// BFS round.
+    pub fn search_trace(&self, query: &BinaryCode, h: u32) -> (Vec<TupleId>, Vec<TraceStep>) {
+        search::h_search_trace(self, query, h)
+    }
+
+    /// Flushes the insert buffer into the tree (also done automatically
+    /// when the buffer reaches `insert_buffer_cap`).
+    pub fn flush(&mut self) {
+        maintain::flush_buffer(self);
+    }
+
+    /// Merges `other` into `self` (global HA-Index construction, §5.2).
+    /// Non-leaf nodes with identical FLSSeq patterns are consolidated and
+    /// their subtrees merged recursively, so shared patterns across
+    /// partitions are verified once at query time.
+    pub fn merge_from(&mut self, other: DynamicHaIndex) {
+        merge::merge_into(self, other);
+    }
+
+    /// Merges a set of per-partition indexes into one global index.
+    ///
+    /// # Panics
+    /// If `parts` is empty.
+    pub fn merge_all(parts: Vec<DynamicHaIndex>) -> DynamicHaIndex {
+        let mut iter = parts.into_iter();
+        let mut acc = iter.next().expect("merge_all needs at least one index");
+        for p in iter {
+            acc.merge_from(p);
+        }
+        acc
+    }
+
+    /// Itemized memory usage; `payload_bytes` carries the leaf id lists +
+    /// leaf hash table (the part the leafless variant saves — the
+    /// `28/11` style split of Table 4).
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut structure = vec_bytes(&self.nodes) + vec_bytes(&self.roots);
+        let mut codes = 0usize;
+        let mut payload = map_bytes(&self.leaves);
+        for n in &self.nodes {
+            structure += vec_bytes(&n.children);
+            codes += n.pattern.heap_bytes();
+            if let Some(leaf) = &n.leaf {
+                codes += leaf.code.heap_bytes();
+                payload += vec_bytes(&leaf.ids);
+            }
+        }
+        payload += self.leaves.keys().map(|c| c.heap_bytes()).sum::<usize>();
+        MemoryReport {
+            structure_bytes: structure,
+            code_bytes: codes,
+            payload_bytes: payload,
+        }
+    }
+
+    /// Serialized wire size of the index — what broadcasting it through a
+    /// distributed cache costs (§5.4: "the internal nodes of the HA-Index
+    /// store enough binary information for the whole dataset, and hence
+    /// introduce low overhead to broadcast"). Counts, per live node, the
+    /// packed pattern (bits + mask), the frequency, and the child links;
+    /// for leaves the packed full code; and the leaf id lists only when
+    /// `include_leaf_ids` (Option A ships them, Option B does not).
+    pub fn serialized_bytes(&self, include_leaf_ids: bool) -> usize {
+        let code_bytes = self.code_len.div_ceil(8);
+        let mut total = 0usize;
+        for n in self.nodes.iter().filter(|n| n.alive) {
+            total += 2 + 2 * code_bytes; // pattern: bits + mask
+            total += 4; // frequency
+            total += 4 * n.children.len(); // edges
+            if let Some(leaf) = &n.leaf {
+                total += 2 + code_bytes; // full leaf code
+                if include_leaf_ids {
+                    total += 8 * leaf.ids.len();
+                }
+            }
+        }
+        total += self
+            .buffer
+            .iter()
+            .map(|(c, _)| 2 + c.len().div_ceil(8) + 8)
+            .sum::<usize>();
+        total
+    }
+
+    /// Fallible structural validation: every root-to-leaf chain must have
+    /// disjoint masks whose union is the full bit range, and the combined
+    /// pattern must reconstruct the leaf's code exactly. Used by the
+    /// wire-format decoder to reject corrupt blobs without panicking.
+    pub fn try_check_invariants(&self) -> Result<(), &'static str> {
+        use ha_bitcode::MaskedCode;
+        fn walk(
+            idx: &DynamicHaIndex,
+            id: NodeId,
+            acc: &MaskedCode,
+            depth: usize,
+        ) -> Result<(), &'static str> {
+            if depth > idx.nodes.len() {
+                return Err("cycle in node graph");
+            }
+            let n = &idx.nodes[id as usize];
+            if !acc.mask().is_disjoint(n.pattern.mask()) {
+                return Err("path masks overlap");
+            }
+            let acc = acc.combine(&n.pattern);
+            if let Some(leaf) = &n.leaf {
+                if !n.children.is_empty() {
+                    return Err("leaf with children");
+                }
+                if acc.mask() != &BinaryCode::ones(idx.code_len) {
+                    return Err("leaf path does not cover all bits");
+                }
+                if acc.bits() != &leaf.code {
+                    return Err("path does not spell the leaf code");
+                }
+            } else {
+                if n.children.is_empty() {
+                    return Err("dead-end internal node");
+                }
+                for &c in &n.children {
+                    walk(idx, c, &acc, depth + 1)?;
+                }
+            }
+            Ok(())
+        }
+        let empty = MaskedCode::empty(self.code_len.max(1));
+        for &r in &self.roots {
+            walk(self, r, &empty, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`DynamicHaIndex::try_check_invariants`], used
+    /// throughout the test suite.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        if let Err(what) = self.try_check_invariants() {
+            panic!("HA-Index invariant violated: {what}");
+        }
+    }
+}
+
+impl HammingIndex for DynamicHaIndex {
+    fn name(&self) -> &'static str {
+        "DHA-Index"
+    }
+
+    fn len(&self) -> usize {
+        self.len + self.buffer.len()
+    }
+
+    fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        search::h_search(self, query, h)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_report().total()
+    }
+}
+
+impl MutableIndex for DynamicHaIndex {
+    fn insert(&mut self, code: BinaryCode, id: TupleId) {
+        maintain::h_insert(self, code, id);
+    }
+
+    fn delete(&mut self, code: &BinaryCode, id: TupleId) -> bool {
+        maintain::h_delete(self, code, id)
+    }
+}

@@ -1,0 +1,69 @@
+//! Arena node types of the Dynamic HA-Index.
+
+use ha_bitcode::{BinaryCode, MaskedCode};
+
+use crate::TupleId;
+
+/// Index into the node arena.
+pub(crate) type NodeId = u32;
+
+/// Payload of a leaf node: one *distinct* binary code and the ids of the
+/// tuples bearing it (the per-leaf hash-table entry of §4.5; empty in the
+/// leafless variant).
+#[derive(Clone, Debug)]
+pub(crate) struct LeafData {
+    pub code: BinaryCode,
+    pub ids: Vec<TupleId>,
+}
+
+/// One node of the HA-Index forest.
+///
+/// `pattern` is the node's **residual** FLSSeq: the bit positions this node
+/// contributes beyond everything its ancestors already pinned down. For a
+/// root the pattern is its full extracted FLSSeq; for a leaf it is the
+/// code minus all ancestor masks.
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub pattern: MaskedCode,
+    pub children: Vec<NodeId>,
+    /// Number of tuples (with multiplicity) in this subtree — the
+    /// frequency counter of Algorithm 1 lines 6–11 / Algorithm 2.
+    pub frequency: u32,
+    pub leaf: Option<LeafData>,
+    /// Cleared by H-Delete when the subtree empties; dead slots stay in
+    /// the arena but are unreachable from `roots`.
+    pub alive: bool,
+}
+
+impl Node {
+    pub(crate) fn internal(pattern: MaskedCode) -> Self {
+        Node {
+            pattern,
+            children: Vec::new(),
+            frequency: 0,
+            leaf: None,
+            alive: true,
+        }
+    }
+
+    /// `frequency` is passed explicitly because the leafless variant keeps
+    /// the tuple count but drops the id list.
+    pub(crate) fn leaf(
+        pattern: MaskedCode,
+        code: BinaryCode,
+        ids: Vec<TupleId>,
+        frequency: u32,
+    ) -> Self {
+        Node {
+            pattern,
+            children: Vec::new(),
+            frequency,
+            leaf: Some(LeafData { code, ids }),
+            alive: true,
+        }
+    }
+
+    pub(crate) fn is_leaf(&self) -> bool {
+        self.leaf.is_some()
+    }
+}

@@ -1,0 +1,174 @@
+//! Nested-loop / linear-scan baseline (§3.1).
+//!
+//! XOR + popcount over every stored code. This is the oracle every other
+//! index is tested against, and the "Nested-Loops" row of Table 4.
+
+use ha_bitcode::BinaryCode;
+
+use crate::memory::{vec_bytes, MemoryReport};
+use crate::{HammingIndex, MutableIndex, TupleId};
+
+/// Flat array of `(code, id)` pairs; `search` scans all of them.
+#[derive(Clone, Debug, Default)]
+pub struct LinearScanIndex {
+    code_len: usize,
+    rows: Vec<(BinaryCode, TupleId)>,
+}
+
+impl LinearScanIndex {
+    /// Empty index; the code length is fixed by the first insertion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from an iterator of `(code, id)` pairs.
+    pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
+        let mut idx = Self::new();
+        for (code, id) in items {
+            idx.insert(code, id);
+        }
+        idx
+    }
+
+    /// Itemized memory usage.
+    pub fn memory_report(&self) -> MemoryReport {
+        let heap: usize = self.rows.iter().map(|(c, _)| c.heap_bytes()).sum();
+        MemoryReport {
+            structure_bytes: 0,
+            code_bytes: vec_bytes(&self.rows) + heap,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Iterates over stored `(code, id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(BinaryCode, TupleId)> {
+        self.rows.iter()
+    }
+}
+
+impl HammingIndex for LinearScanIndex {
+    fn name(&self) -> &'static str {
+        "Nested-Loops"
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        assert!(
+            self.rows.is_empty() || query.len() == self.code_len,
+            "query length {} != indexed code length {}",
+            query.len(),
+            self.code_len
+        );
+        self.rows
+            .iter()
+            .filter(|(c, _)| c.hamming_within(query, h).is_some())
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_report().total()
+    }
+}
+
+impl MutableIndex for LinearScanIndex {
+    fn insert(&mut self, code: BinaryCode, id: TupleId) {
+        if self.rows.is_empty() {
+            self.code_len = code.len();
+        } else {
+            assert_eq!(code.len(), self.code_len, "mixed code lengths");
+        }
+        self.rows.push((code, id));
+    }
+
+    fn delete(&mut self, code: &BinaryCode, id: TupleId) -> bool {
+        if let Some(pos) = self
+            .rows
+            .iter()
+            .position(|(c, i)| *i == id && c == code)
+        {
+            self.rows.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table_s() -> LinearScanIndex {
+        let codes = [
+            "001001010", "001011101", "011001100", "101001010", "101110110",
+            "101011101", "101101010", "111001100",
+        ];
+        LinearScanIndex::build(
+            codes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.parse().unwrap(), i as TupleId)),
+        )
+    }
+
+    #[test]
+    fn paper_example_1_select() {
+        let idx = paper_table_s();
+        let q: BinaryCode = "101100010".parse().unwrap();
+        let mut hits = idx.search(&q, 3);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 3, 4, 6]);
+    }
+
+    #[test]
+    fn zero_threshold_is_exact_match() {
+        let idx = paper_table_s();
+        let q: BinaryCode = "101110110".parse().unwrap();
+        assert_eq!(idx.search(&q, 0), vec![4]);
+        let missing: BinaryCode = "000000000".parse().unwrap();
+        assert!(idx.search(&missing, 0).is_empty());
+    }
+
+    #[test]
+    fn max_threshold_returns_everything() {
+        let idx = paper_table_s();
+        let q: BinaryCode = "000000000".parse().unwrap();
+        assert_eq!(idx.search(&q, 9).len(), 8);
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut idx = paper_table_s();
+        let code: BinaryCode = "001001010".parse().unwrap();
+        assert!(idx.delete(&code, 0));
+        assert!(!idx.delete(&code, 0), "already deleted");
+        assert_eq!(idx.len(), 7);
+        assert!(idx.search(&code, 0).is_empty());
+        idx.insert(code.clone(), 0);
+        assert_eq!(idx.search(&code, 0), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_codes_keep_distinct_ids() {
+        let code: BinaryCode = "1100".parse().unwrap();
+        let idx = LinearScanIndex::build([(code.clone(), 7), (code.clone(), 9)]);
+        let mut hits = idx.search(&code, 0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![7, 9]);
+    }
+
+    #[test]
+    fn memory_report_counts_rows() {
+        let idx = paper_table_s();
+        assert!(idx.memory_bytes() >= 8 * std::mem::size_of::<(BinaryCode, TupleId)>());
+        assert_eq!(idx.memory_report().structure_bytes, 0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Radix-Tree (PATRICIA trie) approach to Hamming-select (§4.2).
+//!
+//! Codes sharing a prefix share the XOR work for that prefix: a depth-first
+//! descent accumulates the mismatch count edge by edge and abandons a
+//! branch as soon as the budget `h` is exhausted (the downward-closure
+//! property applied to prefixes, Example 3 of the paper).
+//!
+//! The paper's criticism — which Table 4 and Figure 6 quantify — is that
+//! the structure is *prefix-sensitive*: two codes differing only in bit 0
+//! (t2 and t7 of the running example) live in different subtrees, so their
+//! common suffix is XORed twice.
+//!
+//! Edges are path-compressed; each edge label is at most 64 bits packed in
+//! a `u64` (longer runs simply chain nodes), so label comparison is one XOR
+//! + popcount.
+
+use ha_bitcode::BinaryCode;
+
+use crate::memory::{vec_bytes, MemoryReport};
+use crate::{HammingIndex, MutableIndex, TupleId};
+
+/// Maximum bits in one compressed edge label.
+const MAX_LABEL: usize = 64;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Compressed edge label leading *into* this node, MSB-aligned in a
+    /// `u64`: bit j of the label is bit `63 - j` of `label_bits`.
+    label_bits: u64,
+    label_len: u8,
+    /// Children indexed by their first label bit.
+    children: [Option<u32>; 2],
+    /// Tuple ids at full depth (leaves only).
+    ids: Vec<TupleId>,
+}
+
+impl Node {
+    fn new(label_bits: u64, label_len: u8) -> Self {
+        Node {
+            label_bits,
+            label_len,
+            children: [None, None],
+            ids: Vec::new(),
+        }
+    }
+
+}
+
+/// A PATRICIA trie over fixed-length binary codes with branch-and-bound
+/// Hamming search.
+#[derive(Clone, Debug)]
+pub struct RadixTreeIndex {
+    code_len: usize,
+    nodes: Vec<Node>,
+    /// Children of the conceptual root (zero-length label).
+    root_children: [Option<u32>; 2],
+    len: usize,
+}
+
+impl RadixTreeIndex {
+    /// Empty index for `code_len`-bit codes.
+    pub fn new(code_len: usize) -> Self {
+        assert!(code_len >= 1, "code length must be >= 1");
+        RadixTreeIndex {
+            code_len,
+            nodes: Vec::new(),
+            root_children: [None, None],
+            len: 0,
+        }
+    }
+
+    /// Builds from `(code, id)` pairs.
+    pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
+        let mut iter = items.into_iter().peekable();
+        let code_len = iter
+            .peek()
+            .map(|(c, _)| c.len())
+            .expect("RadixTreeIndex::build needs at least one item");
+        let mut idx = Self::new(code_len);
+        for (code, id) in iter {
+            idx.insert(code, id);
+        }
+        idx
+    }
+
+    /// Extracts up to `MAX_LABEL` bits of `code` starting at `depth`,
+    /// MSB-aligned, returning `(bits, len)`.
+    fn slice(code: &BinaryCode, depth: usize, want: usize) -> (u64, u8) {
+        let len = want.min(MAX_LABEL).min(code.len() - depth);
+        debug_assert!(len > 0);
+        let v = code.extract(depth, len);
+        ((v << (64 - len)), len as u8)
+    }
+
+    /// Number of leading bits on which an MSB-aligned label agrees with the
+    /// code slice of equal length.
+    fn common_prefix(a_bits: u64, b_bits: u64, len: u8) -> u8 {
+        let x = a_bits ^ b_bits;
+        if x == 0 {
+            len
+        } else {
+            (x.leading_zeros() as u8).min(len)
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Itemized memory usage.
+    pub fn memory_report(&self) -> MemoryReport {
+        let payload: usize = self.nodes.iter().map(|n| vec_bytes(&n.ids)).sum();
+        MemoryReport {
+            structure_bytes: vec_bytes(&self.nodes),
+            code_bytes: 0, // labels live inside the node struct
+            payload_bytes: payload,
+        }
+    }
+
+    /// Recursive branch-and-bound descent.
+    fn search_node(
+        &self,
+        node_id: u32,
+        query: &BinaryCode,
+        depth: usize,
+        acc: u32,
+        h: u32,
+        out: &mut Vec<TupleId>,
+    ) {
+        let node = &self.nodes[node_id as usize];
+        let llen = node.label_len as usize;
+        let (qbits, _) = Self::slice(query, depth, llen);
+        // Mismatches on this edge: XOR of the MSB-aligned label slices.
+        let mism = (qbits ^ node.label_bits).count_ones();
+        let acc = acc + mism;
+        if acc > h {
+            return; // prune: downward closure on the shared prefix
+        }
+        let depth = depth + llen;
+        if depth == self.code_len {
+            out.extend_from_slice(&node.ids);
+            return;
+        }
+        for child in node.children.iter().flatten() {
+            self.search_node(*child, query, depth, acc, h, out);
+        }
+    }
+
+    #[inline]
+    fn read_slot(&self, slot: Slot) -> Option<u32> {
+        match slot {
+            Slot::Root(b) => self.root_children[b],
+            Slot::Child(n, b) => self.nodes[n as usize].children[b],
+        }
+    }
+
+    #[inline]
+    fn write_slot(&mut self, slot: Slot, value: Option<u32>) {
+        match slot {
+            Slot::Root(b) => self.root_children[b] = value,
+            Slot::Child(n, b) => self.nodes[n as usize].children[b] = value,
+        }
+    }
+
+    /// Allocates the chain of nodes spelling `code[depth..]` (one node per
+    /// ≤64-bit label segment) and returns the head; the final node gets
+    /// `id`.
+    fn build_chain(&mut self, code: &BinaryCode, mut depth: usize, id: TupleId) -> u32 {
+        let (bits, len) = Self::slice(code, depth, MAX_LABEL);
+        let head = self.alloc(Node::new(bits, len));
+        let mut tail = head;
+        depth += len as usize;
+        while depth < self.code_len {
+            let (bits, len) = Self::slice(code, depth, MAX_LABEL);
+            let nid = self.alloc(Node::new(bits, len));
+            let pos = usize::from(code.get(depth));
+            self.nodes[tail as usize].children[pos] = Some(nid);
+            tail = nid;
+            depth += len as usize;
+        }
+        self.nodes[tail as usize].ids.push(id);
+        head
+    }
+
+    fn insert_impl(&mut self, code: &BinaryCode, id: TupleId) {
+        let mut depth = 0usize;
+        let mut slot = Slot::Root(usize::from(code.get(0)));
+        loop {
+            let Some(nid) = self.read_slot(slot) else {
+                let head = self.build_chain(code, depth, id);
+                self.write_slot(slot, Some(head));
+                return;
+            };
+            let (label_bits, llen) = {
+                let n = &self.nodes[nid as usize];
+                (n.label_bits, n.label_len)
+            };
+            let (cbits, clen) = Self::slice(code, depth, llen as usize);
+            debug_assert_eq!(clen, llen, "code shorter than existing path");
+            let common = Self::common_prefix(label_bits, cbits, llen);
+            if common == llen {
+                // Full label match: descend.
+                depth += llen as usize;
+                if depth == self.code_len {
+                    self.nodes[nid as usize].ids.push(id);
+                    return;
+                }
+                slot = Slot::Child(nid, usize::from(code.get(depth)));
+                continue;
+            }
+            // Split the edge: a new parent keeps the first `common` bits
+            // (slots guarantee common >= 1), the old node keeps the rest.
+            debug_assert!(common >= 1);
+            let parent_bits = (label_bits >> (64 - common as u32)) << (64 - common as u32);
+            let old_rem_bits = label_bits << common;
+            let old_first = ((old_rem_bits >> 63) & 1) as usize;
+            let pid = self.alloc(Node::new(parent_bits, common));
+            self.nodes[nid as usize].label_bits = old_rem_bits;
+            self.nodes[nid as usize].label_len = llen - common;
+            self.nodes[pid as usize].children[old_first] = Some(nid);
+            self.write_slot(slot, Some(pid));
+            depth += common as usize;
+            slot = Slot::Child(pid, usize::from(code.get(depth)));
+        }
+    }
+}
+
+/// A mutable link in the trie: either a root child or a node's child cell.
+#[derive(Clone, Copy)]
+enum Slot {
+    Root(usize),
+    Child(u32, usize),
+}
+
+impl HammingIndex for RadixTreeIndex {
+    fn name(&self) -> &'static str {
+        "Radix-Tree"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        assert_eq!(query.len(), self.code_len, "query length mismatch");
+        let mut out = Vec::new();
+        for child in self.root_children.iter().flatten() {
+            self.search_node(*child, query, 0, 0, h, &mut out);
+        }
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_report().total()
+    }
+}
+
+impl MutableIndex for RadixTreeIndex {
+    fn insert(&mut self, code: BinaryCode, id: TupleId) {
+        assert_eq!(code.len(), self.code_len, "code length mismatch");
+        self.insert_impl(&code, id);
+        self.len += 1;
+    }
+
+    fn delete(&mut self, code: &BinaryCode, id: TupleId) -> bool {
+        assert_eq!(code.len(), self.code_len, "code length mismatch");
+        // Walk the exact path; remember it for cleanup.
+        let mut path: Vec<u32> = Vec::new();
+        let mut depth = 0usize;
+        let mut cur = self.root_children[usize::from(code.get(0))];
+        while let Some(nid) = cur {
+            let node = &self.nodes[nid as usize];
+            let (cbits, _) = Self::slice(code, depth, node.label_len as usize);
+            if cbits != node.label_bits {
+                return false;
+            }
+            path.push(nid);
+            depth += node.label_len as usize;
+            if depth == self.code_len {
+                break;
+            }
+            cur = node.children[usize::from(code.get(depth))];
+        }
+        if depth != self.code_len || path.is_empty() {
+            return false;
+        }
+        let leaf = *path.last().expect("non-empty path") as usize;
+        let ids = &mut self.nodes[leaf].ids;
+        let Some(pos) = ids.iter().position(|&x| x == id) else {
+            return false;
+        };
+        ids.swap_remove(pos);
+        self.len -= 1;
+        // Structural cleanup: drop now-empty leaves bottom-up. (Nodes stay
+        // allocated in the arena; slots are unlinked. Arena compaction is a
+        // rebuild concern, not a hot-path one.)
+        if self.nodes[leaf].ids.is_empty() {
+            let mut remove = Some(*path.last().expect("non-empty") );
+            for i in (0..path.len().saturating_sub(1)).rev() {
+                let Some(dead) = remove else { break };
+                let parent = path[i] as usize;
+                for c in self.nodes[parent].children.iter_mut() {
+                    if *c == Some(dead) {
+                        *c = None;
+                    }
+                }
+                let p = &self.nodes[parent];
+                remove = if p.ids.is_empty() && p.children.iter().all(Option::is_none) {
+                    Some(path[i])
+                } else {
+                    None
+                };
+            }
+            if let Some(dead) = remove {
+                for c in self.root_children.iter_mut() {
+                    if *c == Some(dead) {
+                        *c = None;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{assert_matches_oracle, paper_table_s, random_dataset};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn paper_example_select() {
+        let data = paper_table_s();
+        let idx = RadixTreeIndex::build(data.clone());
+        let q: BinaryCode = "101100010".parse().unwrap();
+        assert_matches_oracle(idx.search(&q, 3), &data, &q, 3, "radix");
+    }
+
+    #[test]
+    fn paper_example_3_prunes_shared_prefix() {
+        // Query 110010110, h = 2: t0 and t1 share prefix "001…" at distance
+        // > 2 and must be pruned (and thus absent from results).
+        let data = paper_table_s();
+        let idx = RadixTreeIndex::build(data.clone());
+        let q: BinaryCode = "110010110".parse().unwrap();
+        let got = idx.search(&q, 2);
+        assert!(!got.contains(&0) && !got.contains(&1));
+        assert_matches_oracle(got, &data, &q, 2, "radix");
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data_all_thresholds() {
+        let data = random_dataset(300, 32, 11);
+        let idx = RadixTreeIndex::build(data.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        for h in [0, 1, 2, 3, 5, 8, 16, 32] {
+            let q = BinaryCode::random(32, &mut rng);
+            assert_matches_oracle(idx.search(&q, h), &data, &q, h, "radix");
+        }
+    }
+
+    #[test]
+    fn long_codes_chain_labels() {
+        // 200-bit codes force multi-segment edge labels.
+        let data = random_dataset(50, 200, 3);
+        let idx = RadixTreeIndex::build(data.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for h in [0, 4, 40] {
+            let q = BinaryCode::random(200, &mut rng);
+            assert_matches_oracle(idx.search(&q, h), &data, &q, h, "radix-long");
+        }
+        // Exact self-search finds each code.
+        for (c, id) in data.iter().take(10) {
+            assert!(idx.search(c, 0).contains(id));
+        }
+    }
+
+    #[test]
+    fn duplicate_codes_accumulate_ids() {
+        let c: BinaryCode = "10110".parse().unwrap();
+        let idx = RadixTreeIndex::build([(c.clone(), 1), (c.clone(), 2), (c.clone(), 3)]);
+        let mut got = idx.search(&c, 0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn delete_and_reinsert() {
+        let data = random_dataset(100, 24, 21);
+        let mut idx = RadixTreeIndex::build(data.clone());
+        let (code, id) = data[42].clone();
+        assert!(idx.delete(&code, id));
+        assert!(!idx.delete(&code, id));
+        assert!(!idx.search(&code, 0).contains(&id));
+        idx.insert(code.clone(), id);
+        assert!(idx.search(&code, 0).contains(&id));
+        // Whole index still consistent.
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = BinaryCode::random(24, &mut rng);
+        assert_matches_oracle(idx.search(&q, 4), &data, &q, 4, "radix-after-update");
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_tree() {
+        let data = random_dataset(60, 16, 8);
+        let mut idx = RadixTreeIndex::build(data.clone());
+        for (c, id) in &data {
+            assert!(idx.delete(c, *id));
+        }
+        assert_eq!(idx.len(), 0);
+        let q = BinaryCode::zero(16);
+        assert!(idx.search(&q, 16).is_empty());
+        assert!(idx.root_children.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn incremental_equals_bulk() {
+        let data = random_dataset(150, 32, 77);
+        let bulk = RadixTreeIndex::build(data.clone());
+        let mut inc = RadixTreeIndex::new(32);
+        for (c, id) in &data {
+            inc.insert(c.clone(), *id);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let q = BinaryCode::random(32, &mut rng);
+            let h = rng.gen_range(0..8);
+            let mut a = bulk.search(&q, h);
+            let mut b = inc.search(&q, h);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_radix_equals_oracle(seed in any::<u64>(), h in 0u32..12) {
+            let data = random_dataset(120, 28, seed);
+            let idx = RadixTreeIndex::build(data.clone());
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let q = BinaryCode::random(28, &mut rng);
+            assert_matches_oracle(idx.search(&q, h), &data, &q, h, "radix-prop");
+        }
+    }
+}

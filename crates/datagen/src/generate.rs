@@ -1,0 +1,125 @@
+//! Gaussian-mixture generation of profile-shaped feature vectors.
+
+use ha_hashing::randn::normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::DatasetProfile;
+
+/// Generates `n` vectors following `profile`, deterministically from
+/// `seed`.
+pub fn generate(profile: &DatasetProfile, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    generate_with_labels(profile, n, seed).0
+}
+
+/// Like [`generate`] but also returns each vector's mixture-component
+/// label (useful for clustering-quality assertions in tests).
+pub fn generate_with_labels(
+    profile: &DatasetProfile,
+    n: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cluster centres.
+    let centres: Vec<Vec<f64>> = (0..profile.clusters)
+        .map(|_| {
+            (0..profile.dim)
+                .map(|_| rng.gen_range(-profile.centre_spread..profile.centre_spread))
+                .collect()
+        })
+        .collect();
+    // Cumulative Zipf weights for cluster selection.
+    let weights = profile.cluster_weights();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cumulative.push(acc);
+    }
+
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let cluster = cumulative.partition_point(|&c| c < u).min(profile.clusters - 1);
+        let centre = &centres[cluster];
+        let p: Vec<f64> = centre
+            .iter()
+            .map(|&c| normal(&mut rng, c, profile.cluster_std))
+            .collect();
+        points.push(p);
+        labels.push(cluster);
+    }
+    (points, labels)
+}
+
+/// Squared Euclidean distance between equal-length vectors.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let p = DatasetProfile::tiny(8, 3);
+        assert_eq!(generate(&p, 50, 1), generate(&p, 50, 1));
+        assert_ne!(generate(&p, 50, 1), generate(&p, 50, 2));
+    }
+
+    #[test]
+    fn dimensions_match_profile() {
+        let p = DatasetProfile::tiny(12, 2);
+        let data = generate(&p, 30, 3);
+        assert_eq!(data.len(), 30);
+        assert!(data.iter().all(|v| v.len() == 12));
+    }
+
+    #[test]
+    fn intra_cluster_tighter_than_inter() {
+        let p = DatasetProfile::tiny(16, 4);
+        let (data, labels) = generate_with_labels(&p, 400, 7);
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in (0..data.len()).step_by(3) {
+            for j in (i + 1..data.len()).step_by(5) {
+                let d = sq_euclidean(&data[i], &data[j]);
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            intra_mean * 3.0 < inter_mean,
+            "intra {intra_mean} vs inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn skew_concentrates_mass_in_first_clusters() {
+        let mut p = DatasetProfile::tiny(4, 10);
+        p.skew = 1.5;
+        let (_, labels) = generate_with_labels(&p, 2000, 9);
+        let first = labels.iter().filter(|&&l| l == 0).count();
+        let last = labels.iter().filter(|&&l| l == 9).count();
+        assert!(
+            first > 5 * last.max(1),
+            "cluster 0 ({first}) should dwarf cluster 9 ({last})"
+        );
+    }
+
+    #[test]
+    fn full_profiles_generate() {
+        for p in DatasetProfile::all() {
+            let data = generate(&p, 20, 11);
+            assert_eq!(data[0].len(), p.dim);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's “×s” synthetic scale-up (§6).
+//!
+//! > "First, we get the frequencies of values in each dimension, and then
+//! > sort the data in ascending order of their frequencies. Therefore, k
+//! > copies of the dataset D are generated, one copy per dimension […] for
+//! > each tuple t we create a new tuple t̂ according to the position of
+//! > each component of t in the corresponding sorted copy: t̂_j is the
+//! > first value larger than t_j in copy D_j; if t_j is the largest
+//! > element, t̂_j = t_j."
+//!
+//! In other words, each scale step produces a shifted twin of every tuple
+//! whose component values are that dimension's *next* observed value — new
+//! tuples stay inside the empirical marginal distribution, so density and
+//! skew are preserved while the volume multiplies.
+
+/// Scales `data` by `factor`: returns a dataset of `factor × data.len()`
+/// tuples whose per-dimension marginals match the original. `factor = 1`
+/// returns a copy of the input.
+///
+/// # Panics
+/// If `data` is empty, ragged, or `factor == 0`.
+pub fn scale_up(data: &[Vec<f64>], factor: usize) -> Vec<Vec<f64>> {
+    assert!(factor >= 1, "scale factor must be >= 1");
+    assert!(!data.is_empty(), "cannot scale an empty dataset");
+    let dim = data[0].len();
+    assert!(data.iter().all(|v| v.len() == dim), "ragged dataset");
+
+    // Sorted distinct values per dimension (the "sorted copy D_j").
+    let sorted_values: Vec<Vec<f64>> = (0..dim)
+        .map(|j| {
+            let mut col: Vec<f64> = data.iter().map(|t| t[j]).collect();
+            col.sort_by(f64::total_cmp);
+            col.dedup();
+            col
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(data.len() * factor);
+    out.extend(data.iter().cloned());
+    let mut current: Vec<Vec<f64>> = data.to_vec();
+    for _ in 1..factor {
+        let next: Vec<Vec<f64>> = current
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .enumerate()
+                    .map(|(j, &v)| next_value(&sorted_values[j], v))
+                    .collect()
+            })
+            .collect();
+        out.extend(next.iter().cloned());
+        current = next;
+    }
+    out
+}
+
+/// The first value in `sorted` strictly larger than `v`; `v` itself when it
+/// is the maximum (the paper's boundary rule).
+fn next_value(sorted: &[f64], v: f64) -> f64 {
+    let pos = sorted.partition_point(|&x| x <= v);
+    if pos >= sorted.len() {
+        v
+    } else {
+        sorted[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::profile::DatasetProfile;
+
+    #[test]
+    fn factor_one_is_identity() {
+        let data = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(scale_up(&data, 1), data);
+    }
+
+    #[test]
+    fn output_size_multiplies() {
+        let data = generate(&DatasetProfile::tiny(4, 2), 50, 13);
+        for s in [2usize, 3, 5] {
+            assert_eq!(scale_up(&data, s).len(), 50 * s);
+        }
+    }
+
+    #[test]
+    fn next_value_steps_through_the_marginal() {
+        let sorted = vec![1.0, 2.0, 5.0];
+        assert_eq!(next_value(&sorted, 1.0), 2.0);
+        assert_eq!(next_value(&sorted, 2.0), 5.0);
+        assert_eq!(next_value(&sorted, 5.0), 5.0, "max maps to itself");
+        assert_eq!(next_value(&sorted, 0.0), 1.0);
+        assert_eq!(next_value(&sorted, 3.0), 5.0);
+    }
+
+    #[test]
+    fn scaled_values_stay_within_original_range() {
+        let data = generate(&DatasetProfile::tiny(6, 3), 100, 17);
+        let scaled = scale_up(&data, 4);
+        for j in 0..6 {
+            let (lo, hi) = data
+                .iter()
+                .map(|t| t[j])
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), v| {
+                    (l.min(v), h.max(v))
+                });
+            for t in &scaled {
+                assert!(t[j] >= lo && t[j] <= hi, "dimension {j} escaped range");
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_distribution_preserved() {
+        // The set of distinct values per dimension must not grow.
+        let data = generate(&DatasetProfile::tiny(3, 2), 80, 19);
+        let scaled = scale_up(&data, 3);
+        for j in 0..3 {
+            let mut orig: Vec<f64> = data.iter().map(|t| t[j]).collect();
+            orig.sort_by(f64::total_cmp);
+            orig.dedup();
+            for t in &scaled {
+                assert!(
+                    orig.binary_search_by(|x| x.total_cmp(&t[j])).is_ok(),
+                    "value {} not in original marginal",
+                    t[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // t = (t_1, …); t̂_j is the next larger value in dimension j.
+        let data = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 30.0],
+            vec![3.0, 20.0],
+        ];
+        let scaled = scale_up(&data, 2);
+        assert_eq!(scaled.len(), 6);
+        // The twin of (1, 10) is (2, 20); of (3, 30) it is (3, 30).
+        assert!(scaled.contains(&vec![2.0, 20.0]));
+        assert!(scaled.contains(&vec![3.0, 30.0]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Phase 3 — the MapReduce Hamming-join itself (§5.3, Figure 5 right).
+//!
+//! The global HA-Index travels to every worker through the distributed
+//! cache; a MapReduce job hashes and partitions S and probes the index.
+//!
+//! * **Option A** (R small): the broadcast index carries its leaf id
+//!   lists, so reducers emit result pairs directly.
+//! * **Option B** (R large): the index is broadcast **leafless** — the
+//!   storage of leaf nodes would dominate — so H-Search returns the
+//!   qualifying R *codes*, and a follow-up MapReduce hash-join (the
+//!   paper's reference \[23\]) resolves codes back to R tuple ids.
+
+use ha_bitcode::BinaryCode;
+use ha_core::dynamic::DynamicHaIndex;
+use ha_core::{HammingIndex, TupleId};
+use ha_mapreduce::{
+    run_job, run_job_partitioned, DistributedCache, JobConfig, JobMetrics, ShuffleBytes,
+};
+
+use crate::preprocess::Preprocessed;
+use crate::VecTuple;
+
+/// Which join realization to run (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinOption {
+    /// Broadcast the leafy index; reducers emit id pairs directly.
+    A,
+    /// Broadcast the leafless index; resolve ids with a post hash-join.
+    B,
+    /// Pick by |R|: B once leaf storage would dominate the broadcast.
+    Auto,
+}
+
+/// Result of the join phase.
+pub struct JoinPhase {
+    /// All `(r_id, s_id)` pairs within the Hamming threshold, sorted.
+    pub pairs: Vec<(TupleId, TupleId)>,
+    /// Combined metrics of the probe job (and the post-join for Option B),
+    /// including the index broadcast volume.
+    pub metrics: JobMetrics,
+}
+
+/// Serialized size of the HA-Index when shipped to workers. When the
+/// index's own leaf mode matches the requested one, this is the *actual*
+/// wire-format length (`DynamicHaIndex::to_bytes`); otherwise the
+/// analytical estimate.
+pub fn index_broadcast_bytes(index: &DynamicHaIndex, with_leaves: bool) -> usize {
+    if index.config().keep_leaf_ids == with_leaves {
+        index.to_bytes().len()
+    } else {
+        index.serialized_bytes(with_leaves)
+    }
+}
+
+/// Runs Option A: probe the leafy index, emit pairs.
+pub fn join_option_a(
+    index: &DynamicHaIndex,
+    s: Vec<VecTuple>,
+    pre: &Preprocessed,
+    h: u32,
+    workers: usize,
+    partitions: usize,
+) -> JoinPhase {
+    let cache = DistributedCache::broadcast_sized(
+        index.clone(),
+        partitions,
+        index_broadcast_bytes(index, true),
+    );
+    let hasher = pre.hasher.clone();
+    let partitioner = &pre.partitioner;
+    let config = JobConfig::named("mrha-join-A")
+        .with_workers(workers)
+        .with_reducers(partitions);
+
+    let shared = cache.get();
+    let result = run_job_partitioned(
+        &config,
+        s,
+        |(v, sid): VecTuple, emit| {
+            use ha_hashing::SimilarityHasher;
+            let code = hasher.hash(&v);
+            emit(partitioner.assign(&code) as u32, (code, sid));
+        },
+        |&part, n| (part as usize).min(n - 1),
+        |_part, tuples: Vec<(BinaryCode, TupleId)>, out: &mut Vec<(TupleId, TupleId)>| {
+            for (code, sid) in tuples {
+                for rid in shared.search(&code, h) {
+                    out.push((rid, sid));
+                }
+            }
+        },
+    );
+    let mut metrics = result.metrics;
+    metrics.broadcast_bytes += cache.traffic_bytes()
+        + (pre.hasher.approx_bytes() + pre.partitioner.shuffle_bytes()) * workers;
+    let mut pairs = result.outputs;
+    pairs.sort_unstable();
+    JoinPhase { pairs, metrics }
+}
+
+/// Runs Option B: probe the leafless index for qualifying R *codes*, then
+/// resolve ids with a MapReduce hash-join against R.
+pub fn join_option_b(
+    index: &DynamicHaIndex,
+    r: &[VecTuple],
+    s: Vec<VecTuple>,
+    pre: &Preprocessed,
+    h: u32,
+    workers: usize,
+    partitions: usize,
+) -> JoinPhase {
+    let cache = DistributedCache::broadcast_sized(
+        index.clone(),
+        partitions,
+        index_broadcast_bytes(index, false),
+    );
+    let hasher = pre.hasher.clone();
+    let partitioner = &pre.partitioner;
+    let config = JobConfig::named("mrha-join-B")
+        .with_workers(workers)
+        .with_reducers(partitions);
+
+    // Job 1: probe — emits (qualifying R code, s id).
+    let shared = cache.get();
+    let probe = run_job_partitioned(
+        &config,
+        s,
+        |(v, sid): VecTuple, emit| {
+            use ha_hashing::SimilarityHasher;
+            let code = hasher.hash(&v);
+            emit(partitioner.assign(&code) as u32, (code, sid));
+        },
+        |&part, n| (part as usize).min(n - 1),
+        |_part, tuples: Vec<(BinaryCode, TupleId)>, out: &mut Vec<(BinaryCode, TupleId)>| {
+            for (code, sid) in tuples {
+                for (r_code, _dist) in shared.search_codes(&code, h) {
+                    out.push((r_code, sid));
+                }
+            }
+        },
+    );
+
+    // Job 2: hash-join the qualifying codes with R to recover r-ids
+    // ("MapReduce hash-join [23] for Dataset R and the qualifying
+    // binaries").
+    #[derive(Clone)]
+    enum Side {
+        RTuple(TupleId),
+        SMatch(TupleId),
+    }
+    impl ShuffleBytes for Side {
+        fn shuffle_bytes(&self) -> usize {
+            1 + 8
+        }
+    }
+    /// One post-join input record: an R tuple or a probe match.
+    type PostJoinInput = (Option<VecTuple>, Option<(BinaryCode, TupleId)>);
+    let hasher2 = pre.hasher.clone();
+    let join_inputs: Vec<PostJoinInput> = r
+        .iter()
+        .cloned()
+        .map(|t| (Some(t), None))
+        .chain(probe.outputs.iter().cloned().map(|m| (None, Some(m))))
+        .collect();
+    let post = run_job(
+        &JobConfig::named("mrha-join-B-post")
+            .with_workers(workers)
+            .with_reducers(partitions),
+        join_inputs,
+        move |input, emit| match input {
+            (Some((v, rid)), None) => {
+                use ha_hashing::SimilarityHasher;
+                emit(hasher2.hash(&v), Side::RTuple(rid));
+            }
+            (None, Some((code, sid))) => emit(code, Side::SMatch(sid)),
+            _ => unreachable!("exactly one side set"),
+        },
+        |_code, sides: Vec<Side>, out: &mut Vec<(TupleId, TupleId)>| {
+            let mut rids = Vec::new();
+            let mut sids = Vec::new();
+            for s in sides {
+                match s {
+                    Side::RTuple(rid) => rids.push(rid),
+                    Side::SMatch(sid) => sids.push(sid),
+                }
+            }
+            for &rid in &rids {
+                for &sid in &sids {
+                    out.push((rid, sid));
+                }
+            }
+        },
+    );
+
+    let mut metrics = probe.metrics;
+    metrics.absorb(&post.metrics);
+    metrics.broadcast_bytes += cache.traffic_bytes()
+        + (pre.hasher.approx_bytes() + pre.partitioner.shuffle_bytes()) * workers;
+    let mut pairs = post.outputs;
+    pairs.sort_unstable();
+    JoinPhase { pairs, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_index::build_global_index;
+    use crate::preprocess::preprocess;
+    use ha_core::dynamic::DhaConfig;
+    use ha_core::select::nested_loop_join;
+    use ha_datagen::{generate, DatasetProfile};
+    use ha_hashing::SimilarityHasher;
+
+    fn dataset(n: usize, seed: u64, id_base: u64) -> Vec<VecTuple> {
+        generate(&DatasetProfile::tiny(10, 3), n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, id_base + i as u64))
+            .collect()
+    }
+
+    /// Reference result: hash both sides centrally, nested-loop join.
+    fn oracle(
+        r: &[VecTuple],
+        s: &[VecTuple],
+        pre: &Preprocessed,
+        h: u32,
+    ) -> Vec<(TupleId, TupleId)> {
+        let rc: Vec<(BinaryCode, TupleId)> =
+            r.iter().map(|(v, id)| (pre.hasher.hash(v), *id)).collect();
+        let sc: Vec<(BinaryCode, TupleId)> =
+            s.iter().map(|(v, id)| (pre.hasher.hash(v), *id)).collect();
+        nested_loop_join(&rc, &sc, h)
+    }
+
+    #[test]
+    fn option_a_matches_centralized_join() {
+        // Same generator seed for R and S: the join is guaranteed
+        // non-empty, so the equality below is over a real result set.
+        let r = dataset(150, 41, 0);
+        let s = dataset(200, 41, 10_000);
+        let pre = preprocess(&r, &s, 0.2, 32, 4, 5);
+        let built = build_global_index(r.clone(), &pre, &DhaConfig::default(), 4, 4);
+        let phase = join_option_a(&built.index, s.clone(), &pre, 3, 4, 4);
+        let want = oracle(&r, &s, &pre, 3);
+        assert!(want.len() >= 150, "workload too sparse ({})", want.len());
+        assert_eq!(phase.pairs, want);
+        assert!(phase.metrics.broadcast_bytes > 0);
+        for (rid, sid) in &phase.pairs {
+            assert!(*rid < 10_000 && *sid >= 10_000, "orientation ({rid},{sid})");
+        }
+    }
+
+    #[test]
+    fn option_b_matches_centralized_join() {
+        let r = dataset(150, 43, 0);
+        let s = dataset(200, 43, 10_000);
+        let pre = preprocess(&r, &s, 0.2, 32, 4, 6);
+        let leafless = DhaConfig {
+            keep_leaf_ids: false,
+            ..DhaConfig::default()
+        };
+        let built = build_global_index(r.clone(), &pre, &leafless, 4, 4);
+        let phase = join_option_b(&built.index, &r, s.clone(), &pre, 3, 4, 4);
+        let want = oracle(&r, &s, &pre, 3);
+        assert!(want.len() >= 150, "workload too sparse ({})", want.len());
+        assert_eq!(phase.pairs, want);
+    }
+
+    #[test]
+    fn options_agree_with_each_other() {
+        let r = dataset(100, 45, 0);
+        let s = dataset(120, 45, 5_000);
+        let pre = preprocess(&r, &s, 0.25, 32, 4, 7);
+        let leafy = build_global_index(r.clone(), &pre, &DhaConfig::default(), 4, 4);
+        let leafless_cfg = DhaConfig {
+            keep_leaf_ids: false,
+            ..DhaConfig::default()
+        };
+        let leafless = build_global_index(r.clone(), &pre, &leafless_cfg, 4, 4);
+        let a = join_option_a(&leafy.index, s.clone(), &pre, 4, 4, 4);
+        let b = join_option_b(&leafless.index, &r, s, &pre, 4, 4, 4);
+        assert!(!a.pairs.is_empty(), "workload must produce pairs");
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn leafless_broadcast_is_smaller() {
+        let r = dataset(400, 47, 0);
+        let pre = preprocess(&r, &[], 0.2, 32, 4, 8);
+        let leafy = build_global_index(r.clone(), &pre, &DhaConfig::default(), 4, 4);
+        let leafless_cfg = DhaConfig {
+            keep_leaf_ids: false,
+            ..DhaConfig::default()
+        };
+        let leafless = build_global_index(r, &pre, &leafless_cfg, 4, 4);
+        let with = index_broadcast_bytes(&leafy.index, true);
+        let without = index_broadcast_bytes(&leafless.index, false);
+        assert!(
+            without < with,
+            "leafless {without}B must undercut leafy {with}B"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # ha-distributed — Hamming-join over MapReduce (§5)
+//!
+//! The paper's three-phase pipeline (Figure 5), implemented over the
+//! [`ha_mapreduce`] runtime:
+//!
+//! 1. **Preprocessing** ([`preprocess`]): reservoir-sample R ∪ S, learn
+//!    the similarity hash function on the sample, build a Gray-order
+//!    histogram of the sampled codes, and cut it into `N` equal-mass
+//!    ranges — the **pivots** that give every reducer the same load even
+//!    under skew.
+//! 2. **Global HA-Index building** ([`global_index`]): one MapReduce job
+//!    hashes and range-partitions R by the pivots; each reducer bulk-loads
+//!    a local HA-Index (H-Build); the driver merges the locals into the
+//!    global HA-Index (§5.2).
+//! 3. **Hamming-join** ([`join`]): the global index travels to the workers
+//!    through the distributed cache and a second job probes it with S.
+//!    **Option A** ships the index with its leaf id lists; **Option B**
+//!    ships the leafless index (much smaller when R is large) and resolves
+//!    ids with a MapReduce hash-join afterwards.
+//!
+//! Baselines for Figures 7 and 9: [`pmh`] (Manku's broadcast-R +
+//! multi-hash-table join) and [`pgbj`] (Lu et al.'s pivot-partitioned
+//! exact kNN-join). [`pipeline`] exposes the end-to-end drivers with
+//! per-phase timing and the traffic accounting the figures plot.
+
+pub mod batch_select;
+pub mod global_index;
+pub mod join;
+pub mod knn_join;
+pub mod pgbj;
+pub mod pipeline;
+pub mod pivot;
+pub mod pmh;
+pub mod preprocess;
+
+pub use batch_select::{mrha_batch_select, BatchSelectOutcome};
+pub use join::JoinOption;
+pub use knn_join::{mrha_knn_join, KnnJoinOutcome};
+pub use pipeline::{mrha_hamming_join, JoinOutcome, MrHaConfig, PhaseTimes};
+pub use pivot::PivotPartitioner;
+pub use preprocess::Preprocessed;
+
+use ha_core::TupleId;
+
+/// A dataset tuple: the original feature vector plus its id.
+pub type VecTuple = (Vec<f64>, TupleId);

@@ -1,0 +1,126 @@
+//! SimHash — Charikar's random-hyperplane similarity hash.
+//!
+//! Bit `i` of the code is the sign of the projection of the input onto a
+//! random Gaussian direction. Pr[bit differs] = angle(u, v) / π, so Hamming
+//! distance between codes is an unbiased estimator of angular distance.
+//! This is the data-independent counterpart to Spectral Hashing and the
+//! hash family behind the paper's near-duplicate-detection motivation [4,5].
+
+use ha_bitcode::BinaryCode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::randn::standard_normal;
+use crate::SimilarityHasher;
+
+/// Random-hyperplane hasher producing `L`-bit codes for `d`-dimensional
+/// input.
+#[derive(Clone, Debug)]
+pub struct SimHasher {
+    code_len: usize,
+    dim: usize,
+    /// `code_len` hyperplane normals, each of length `dim`, flattened.
+    planes: Vec<f64>,
+}
+
+impl SimHasher {
+    /// Creates a hasher with `code_len` random Gaussian hyperplanes over
+    /// `dim`-dimensional vectors, deterministically derived from `seed`.
+    pub fn new(code_len: usize, dim: usize, seed: u64) -> Self {
+        assert!(code_len >= 1, "code length must be >= 1");
+        assert!(dim >= 1, "dimension must be >= 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planes = (0..code_len * dim)
+            .map(|_| standard_normal(&mut rng))
+            .collect();
+        SimHasher {
+            code_len,
+            dim,
+            planes,
+        }
+    }
+
+    fn plane(&self, i: usize) -> &[f64] {
+        &self.planes[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+impl SimilarityHasher for SimHasher {
+    fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn hash(&self, v: &[f64]) -> BinaryCode {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let mut code = BinaryCode::zero(self.code_len);
+        for i in 0..self.code_len {
+            let s: f64 = self.plane(i).iter().zip(v).map(|(p, x)| p * x).sum();
+            if s >= 0.0 {
+                code.set(i, true);
+            }
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let h1 = SimHasher::new(64, 10, 7);
+        let h2 = SimHasher::new(64, 10, 7);
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(h1.hash(&v), h2.hash(&v));
+        let h3 = SimHasher::new(64, 10, 8);
+        assert_ne!(h1.hash(&v), h3.hash(&v), "different seed, different code");
+    }
+
+    #[test]
+    fn scale_invariant() {
+        // SimHash depends only on direction: scaling the vector by a
+        // positive constant must not change the code.
+        let h = SimHasher::new(32, 6, 1);
+        let v = vec![0.3, -1.0, 2.0, 0.0, 4.0, -0.5];
+        let scaled: Vec<f64> = v.iter().map(|x| x * 37.5).collect();
+        assert_eq!(h.hash(&v), h.hash(&scaled));
+    }
+
+    #[test]
+    fn hamming_tracks_angle() {
+        // Vectors at a small angle must collide on most bits; orthogonal
+        // vectors on about half; near-opposite on few.
+        let h = SimHasher::new(256, 2, 3);
+        let a = h.hash(&[1.0, 0.0]);
+        let near = h.hash(&[1.0, 0.1]); // ~5.7°
+        let orth = h.hash(&[0.0, 1.0]); // 90°
+        let opp = h.hash(&[-1.0, -0.05]); // ~177°
+        let d_near = a.hamming(&near);
+        let d_orth = a.hamming(&orth);
+        let d_opp = a.hamming(&opp);
+        assert!(d_near < d_orth && d_orth < d_opp, "{d_near} {d_orth} {d_opp}");
+        // Expected collision probability θ/π: 90° → half the bits differ.
+        assert!((d_orth as i64 - 128).abs() < 40, "d_orth = {d_orth}");
+    }
+
+    #[test]
+    fn hash_all_matches_individual() {
+        let h = SimHasher::new(16, 4, 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let batch = h.hash_all(&data);
+        for (v, code) in data.iter().zip(&batch) {
+            assert_eq!(&h.hash(v), code);
+        }
+    }
+
+}

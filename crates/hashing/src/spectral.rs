@@ -1,0 +1,275 @@
+//! Spectral Hashing (Weiss, Torralba, Fergus — NIPS 2008).
+//!
+//! The data-dependent hash function used throughout the paper's
+//! evaluation. The out-of-sample recipe (for a uniform-box approximation of
+//! the data distribution):
+//!
+//! 1. PCA the training sample down to `k` directions.
+//! 2. For each PCA direction `j` with projected data range `[a_j, b_j]`,
+//!    the one-dimensional Laplacian eigenfunctions are
+//!    `Φ_m(x) = sin(π/2 + m·π/(b_j − a_j)·(x − a_j))` with analytical
+//!    eigenvalue decreasing in the frequency `ω = m·π/(b_j − a_j)`.
+//! 3. Pick the `L` (code length) smallest frequencies across all
+//!    `(direction, mode)` pairs — wide-spread directions contribute several
+//!    low-frequency modes.
+//! 4. Bit `i` of a code is `sign(Φ_{m_i}(proj_{j_i}(x)))`.
+//!
+//! The resulting codes are balanced (each sinusoid crosses zero across the
+//! data range) and nearby points in the PCA metric receive nearby codes —
+//! the property the Hamming-threshold kNN approximation of §2/§6.1.4
+//! depends on.
+
+use ha_bitcode::BinaryCode;
+
+use crate::matrix::Matrix;
+use crate::pca::Pca;
+use crate::SimilarityHasher;
+
+/// One selected eigenfunction: a PCA direction plus a sinusoid mode.
+#[derive(Clone, Debug)]
+struct Mode {
+    /// Index of the PCA direction.
+    direction: usize,
+    /// Frequency ω = m·π/(b − a).
+    omega: f64,
+    /// Lower end of the direction's projected range.
+    lo: f64,
+}
+
+/// Spectral Hashing model: fit once on a sample, then hash any vector.
+#[derive(Clone, Debug)]
+pub struct SpectralHasher {
+    pca: Pca,
+    modes: Vec<Mode>,
+}
+
+impl SpectralHasher {
+    /// Fits a spectral hasher producing `code_len`-bit codes from training
+    /// `data` (rows = samples). At most `max_pca` principal directions are
+    /// retained (the usual setting is `max_pca = code_len`).
+    ///
+    /// # Panics
+    /// If `data` has fewer than 2 rows, or `code_len == 0`.
+    pub fn fit(data: &Matrix, code_len: usize, max_pca: usize) -> Self {
+        assert!(data.rows() >= 2, "need at least 2 training samples");
+        assert!(code_len >= 1, "code length must be >= 1");
+        let k = max_pca.clamp(1, data.cols()).min(code_len.max(1));
+        let pca = Pca::fit(data, k);
+
+        // Projected ranges per direction.
+        let projected = pca.project_all(data);
+        let mut ranges = Vec::with_capacity(k);
+        for j in 0..k {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for r in 0..projected.rows() {
+                let v = projected[(r, j)];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            // Degenerate (constant) directions get a tiny synthetic range so
+            // their modes sort last and are effectively never selected
+            // unless nothing else is available.
+            if hi <= lo {
+                hi = lo + f64::EPSILON.max(lo.abs() * 1e-12);
+            }
+            ranges.push((lo, hi));
+        }
+
+        // Enumerate candidate modes: for each direction, modes m = 1..=L
+        // (no direction can contribute more than L useful bits).
+        let mut candidates: Vec<Mode> = Vec::with_capacity(k * code_len);
+        for (j, &(lo, hi)) in ranges.iter().enumerate() {
+            let width = hi - lo;
+            for m in 1..=code_len {
+                candidates.push(Mode {
+                    direction: j,
+                    omega: m as f64 * std::f64::consts::PI / width,
+                    lo,
+                });
+            }
+        }
+        // Smallest frequency = largest analytical eigenvalue.
+        candidates.sort_by(|a, b| a.omega.total_cmp(&b.omega));
+        candidates.truncate(code_len);
+
+        SpectralHasher {
+            pca,
+            modes: candidates,
+        }
+    }
+
+    /// Convenience: fit from a slice of vectors.
+    pub fn fit_vectors(data: &[Vec<f64>], code_len: usize, max_pca: usize) -> Self {
+        assert!(!data.is_empty(), "empty training set");
+        let dim = data[0].len();
+        let flat: Vec<f64> = data.iter().flat_map(|v| {
+            assert_eq!(v.len(), dim, "ragged training data");
+            v.iter().copied()
+        }).collect();
+        let m = Matrix::from_rows(data.len(), dim, flat);
+        Self::fit(&m, code_len, max_pca)
+    }
+
+    /// The number of PCA directions retained by the model.
+    pub fn pca_directions(&self) -> usize {
+        self.pca.k()
+    }
+
+    /// Approximate serialized size in bytes — what shipping the learned
+    /// hash function through a distributed cache costs: the PCA mean and
+    /// component matrix plus one (direction, ω, lo) triple per bit.
+    pub fn approx_bytes(&self) -> usize {
+        let pca = (self.pca.k() * self.pca.dim() + self.pca.dim()) * 8;
+        let modes = self.modes.len() * (4 + 8 + 8);
+        pca + modes
+    }
+}
+
+impl SimilarityHasher for SpectralHasher {
+    fn code_len(&self) -> usize {
+        self.modes.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.pca.dim()
+    }
+
+    fn hash(&self, v: &[f64]) -> BinaryCode {
+        let proj = self.pca.project(v);
+        let mut code = BinaryCode::zero(self.modes.len());
+        for (i, mode) in self.modes.iter().enumerate() {
+            let x = proj[mode.direction] - mode.lo;
+            let phase = std::f64::consts::FRAC_PI_2 + mode.omega * x;
+            if phase.sin() >= 0.0 {
+                code.set(i, true);
+            }
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Clustered toy data: `clusters` Gaussian blobs in `dim` dimensions.
+    fn blobs(
+        rng: &mut StdRng,
+        n_per: usize,
+        clusters: usize,
+        dim: usize,
+        spread: f64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centres: Vec<Vec<f64>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+            .collect();
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, centre) in centres.iter().enumerate() {
+            for _ in 0..n_per {
+                let p: Vec<f64> = centre
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-spread..spread))
+                    .collect();
+                points.push(p);
+                labels.push(ci);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn code_len_and_dim_reported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (data, _) = blobs(&mut rng, 50, 3, 8, 0.5);
+        let h = SpectralHasher::fit_vectors(&data, 32, 32);
+        assert_eq!(h.code_len(), 32);
+        assert_eq!(h.dim(), 8);
+        assert!(h.pca_directions() <= 8);
+    }
+
+    #[test]
+    fn deterministic_hashing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (data, _) = blobs(&mut rng, 40, 2, 6, 0.5);
+        let h = SpectralHasher::fit_vectors(&data, 16, 16);
+        assert_eq!(h.hash(&data[0]), h.hash(&data[0]));
+    }
+
+    #[test]
+    fn same_cluster_codes_are_closer_than_cross_cluster() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (data, labels) = blobs(&mut rng, 100, 4, 16, 0.3);
+        let h = SpectralHasher::fit_vectors(&data, 32, 32);
+        let codes = h.hash_all(&data);
+
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in (0..data.len()).step_by(7) {
+            for j in (i + 1..data.len()).step_by(11) {
+                let d = codes[i].hamming(&codes[j]) as f64;
+                if labels[i] == labels[j] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&intra) < mean(&inter) * 0.6,
+            "intra {} should be well below inter {}",
+            mean(&intra),
+            mean(&inter)
+        );
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        // Each selected sinusoid crosses zero across the data range, so no
+        // bit should be constant over the training set.
+        let mut rng = StdRng::seed_from_u64(23);
+        let (data, _) = blobs(&mut rng, 150, 5, 12, 1.0);
+        let h = SpectralHasher::fit_vectors(&data, 24, 24);
+        let codes = h.hash_all(&data);
+        for bit in 0..24 {
+            let ones = codes.iter().filter(|c| c.get(bit)).count();
+            let frac = ones as f64 / codes.len() as f64;
+            assert!(
+                (0.02..=0.98).contains(&frac),
+                "bit {bit} is ~constant ({frac})"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_directions_contribute_multiple_modes() {
+        // One dominant direction (huge variance) should supply several of
+        // the selected low-frequency modes.
+        let mut rng = StdRng::seed_from_u64(8);
+        let data: Vec<Vec<f64>> = (0..300)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-100.0..100.0), // dominant
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                ]
+            })
+            .collect();
+        let h = SpectralHasher::fit_vectors(&data, 8, 3);
+        // Hash two points that differ only along the dominant axis by a lot:
+        // many bits must flip (several modes live on that axis).
+        let a = h.hash(&[-90.0, 0.0, 0.0]);
+        let b = h.hash(&[90.0, 0.0, 0.0]);
+        assert!(a.hamming(&b) >= 3, "dominant axis got too few modes");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_panics() {
+        SpectralHasher::fit_vectors(&[], 8, 8);
+    }
+}

@@ -1,0 +1,250 @@
+//! E2LSH — p-stable locality-sensitive hashing for Euclidean kNN
+//! (Andoni & Indyk; the paper's reference \[18\] and the "LSH" row of
+//! Table 5, run with 20 hash tables there).
+//!
+//! Each of `T` tables hashes a vector through `m` random projections
+//! `g_j(v) = ⌊(a_j·v + b_j) / w⌋` (a Gaussian `a_j`, uniform offset `b_j`,
+//! bucket width `w`); the concatenated slots form the bucket key. Close
+//! vectors collide in some table with high probability; a query unions its
+//! buckets and ranks candidates by true Euclidean distance.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use ha_core::TupleId;
+use ha_hashing::randn::standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::exact::{sq_euclidean, Neighbour};
+
+/// One hash table's projection family.
+#[derive(Clone, Debug)]
+struct TableFamily {
+    /// `m` projection vectors, flattened (`m × dim`).
+    a: Vec<f64>,
+    /// `m` offsets.
+    b: Vec<f64>,
+}
+
+/// The E2LSH index.
+#[derive(Clone, Debug)]
+pub struct E2Lsh {
+    dim: usize,
+    m: usize,
+    w: f64,
+    families: Vec<TableFamily>,
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    rows: Vec<(Vec<f64>, TupleId)>,
+}
+
+impl E2Lsh {
+    /// Builds an index over `data` with `num_tables` tables, `m`
+    /// projections per table, and bucket width `w`.
+    pub fn build(
+        data: Vec<(Vec<f64>, TupleId)>,
+        num_tables: usize,
+        m: usize,
+        w: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!data.is_empty(), "E2Lsh::build needs at least one vector");
+        assert!(num_tables >= 1 && m >= 1 && w > 0.0);
+        let dim = data[0].0.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let families: Vec<TableFamily> = (0..num_tables)
+            .map(|_| TableFamily {
+                a: (0..m * dim).map(|_| standard_normal(&mut rng)).collect(),
+                b: (0..m).map(|_| rng.gen_range(0.0..w)).collect(),
+            })
+            .collect();
+        let mut tables: Vec<HashMap<u64, Vec<u32>>> =
+            (0..num_tables).map(|_| HashMap::new()).collect();
+        for (row, (v, _)) in data.iter().enumerate() {
+            assert_eq!(v.len(), dim, "ragged input");
+            for (t, fam) in families.iter().enumerate() {
+                let key = bucket_key(fam, v, dim, m, w);
+                tables[t].entry(key).or_default().push(row as u32);
+            }
+        }
+        E2Lsh {
+            dim,
+            m,
+            w,
+            families,
+            tables,
+            rows: data,
+        }
+    }
+
+    /// Builds with the defaults used in the Table 5 experiment: 20 tables,
+    /// with the bucket width calibrated to the data's own distance scale
+    /// (the standard E2LSH tuning step — an absolute `w` would make recall
+    /// collapse or explode depending on feature magnitudes).
+    pub fn build_default(data: Vec<(Vec<f64>, TupleId)>, seed: u64) -> Self {
+        let w = estimate_scale(&data, seed);
+        Self::build(data, 20, 4, w, seed)
+    }
+
+    /// Number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Approximate kNN: union of the query's buckets across all tables,
+    /// ranked by exact Euclidean distance. May return fewer than `k` when
+    /// the buckets are sparse — the recall loss Table 5 quantifies.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<Neighbour> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let mut seen = vec![false; self.rows.len()];
+        let mut candidates: Vec<u32> = Vec::new();
+        for (t, fam) in self.families.iter().enumerate() {
+            let key = bucket_key(fam, query, self.dim, self.m, self.w);
+            if let Some(bucket) = self.tables[t].get(&key) {
+                for &row in bucket {
+                    if !seen[row as usize] {
+                        seen[row as usize] = true;
+                        candidates.push(row);
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<Neighbour> = candidates
+            .into_iter()
+            .map(|row| {
+                let (v, id) = &self.rows[row as usize];
+                Neighbour {
+                    id: *id,
+                    distance: sq_euclidean(v, query).sqrt(),
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Bytes of memory attributable to the index (Table 5's footprint
+    /// discussion).
+    pub fn memory_bytes(&self) -> usize {
+        let tables: usize = self
+            .tables
+            .iter()
+            .map(|t| {
+                t.capacity() * (std::mem::size_of::<(u64, Vec<u32>)>() + 1)
+                    + t.values().map(|v| v.capacity() * 4).sum::<usize>()
+            })
+            .sum();
+        let rows: usize = self.rows.iter().map(|(v, _)| v.capacity() * 8 + 32).sum();
+        let fams: usize = self
+            .families
+            .iter()
+            .map(|f| (f.a.capacity() + f.b.capacity()) * 8)
+            .sum();
+        tables + rows + fams
+    }
+}
+
+/// Mean pairwise Euclidean distance over a small sample — the distance
+/// scale used to calibrate the bucket width.
+fn estimate_scale(data: &[(Vec<f64>, TupleId)], seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1E);
+    let n = data.len();
+    let pairs = 64.min(n * (n - 1) / 2).max(1);
+    let mut total = 0.0;
+    for _ in 0..pairs {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i != j {
+            total += sq_euclidean(&data[i].0, &data[j].0).sqrt();
+        }
+    }
+    (total / pairs as f64).max(1e-9)
+}
+
+/// Concatenated-slot bucket key for one table.
+fn bucket_key(fam: &TableFamily, v: &[f64], dim: usize, m: usize, w: f64) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    for j in 0..m {
+        let a = &fam.a[j * dim..(j + 1) * dim];
+        let dot: f64 = a.iter().zip(v).map(|(x, y)| x * y).sum();
+        let slot = ((dot + fam.b[j]) / w).floor() as i64;
+        slot.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_knn;
+    use ha_datagen::{generate, DatasetProfile};
+
+    fn dataset(n: usize, seed: u64) -> Vec<(Vec<f64>, TupleId)> {
+        generate(&DatasetProfile::tiny(16, 4), n, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as TupleId))
+            .collect()
+    }
+
+    #[test]
+    fn self_query_finds_itself() {
+        let data = dataset(200, 1);
+        let lsh = E2Lsh::build_default(data.clone(), 7);
+        for i in [0usize, 50, 199] {
+            let got = lsh.knn(&data[i].0, 1);
+            assert_eq!(got[0].id, data[i].1, "row {i}");
+            assert_eq!(got[0].distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_data_is_high() {
+        let data = dataset(500, 2);
+        let lsh = E2Lsh::build_default(data.clone(), 8);
+        let mut recall_sum = 0.0;
+        let queries = 20;
+        for qi in 0..queries {
+            let q = &data[qi * 17].0;
+            let truth: Vec<TupleId> = exact_knn(&data, q, 10).iter().map(|n| n.id).collect();
+            let got: Vec<TupleId> = lsh.knn(q, 10).iter().map(|n| n.id).collect();
+            let (_, r) = crate::exact::precision_recall(&got, &truth);
+            recall_sum += r;
+        }
+        let recall = recall_sum / queries as f64;
+        assert!(recall > 0.6, "mean recall {recall}");
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let data = dataset(300, 3);
+        let lsh = E2Lsh::build_default(data.clone(), 9);
+        let got = lsh.knn(&data[42].0, 15);
+        for w in got.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn more_tables_no_worse_recall() {
+        let data = dataset(400, 4);
+        let q = data[13].0.clone();
+        let truth: Vec<TupleId> = exact_knn(&data, &q, 10).iter().map(|n| n.id).collect();
+        let recall_for = |tables: usize| {
+            let lsh = E2Lsh::build(data.clone(), tables, 8, 4.0, 11);
+            let got: Vec<TupleId> = lsh.knn(&q, 10).iter().map(|n| n.id).collect();
+            crate::exact::precision_recall(&got, &truth).1
+        };
+        assert!(recall_for(20) >= recall_for(2) - 1e-9);
+    }
+
+    #[test]
+    fn memory_scales_with_tables() {
+        let data = dataset(300, 5);
+        let small = E2Lsh::build(data.clone(), 2, 8, 4.0, 1).memory_bytes();
+        let large = E2Lsh::build(data, 20, 8, 4.0, 1).memory_bytes();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,93 @@
+//! Exact kNN ground truth and retrieval-quality metrics.
+
+use ha_core::TupleId;
+
+/// One neighbour: tuple id plus its distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbour {
+    /// Tuple id.
+    pub id: TupleId,
+    /// Distance (Euclidean for vectors, Hamming cast to f64 for codes).
+    pub distance: f64,
+}
+
+/// Exact kNN by linear scan in the original vector space — the ground
+/// truth that approximate results are scored against. Ties break by id so
+/// the result is deterministic.
+pub fn exact_knn(data: &[(Vec<f64>, TupleId)], query: &[f64], k: usize) -> Vec<Neighbour> {
+    let mut all: Vec<Neighbour> = data
+        .iter()
+        .map(|(v, id)| Neighbour {
+            id: *id,
+            distance: sq_euclidean(v, query).sqrt(),
+        })
+        .collect();
+    all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+/// Squared Euclidean distance.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Precision and recall of a retrieved id set against the true id set
+/// (Figure 10b's metrics). Returns `(precision, recall)`; empty retrieval
+/// scores (0, 0) unless the truth is empty too (then (1, 1)).
+pub fn precision_recall(retrieved: &[TupleId], truth: &[TupleId]) -> (f64, f64) {
+    if truth.is_empty() && retrieved.is_empty() {
+        return (1.0, 1.0);
+    }
+    if retrieved.is_empty() || truth.is_empty() {
+        return (0.0, 0.0);
+    }
+    let truth_set: std::collections::HashSet<&TupleId> = truth.iter().collect();
+    let hits = retrieved.iter().filter(|id| truth_set.contains(id)).count() as f64;
+    (hits / retrieved.len() as f64, hits / truth.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_knn_orders_by_distance() {
+        let data = vec![
+            (vec![0.0, 0.0], 0),
+            (vec![3.0, 4.0], 1), // dist 5
+            (vec![1.0, 0.0], 2), // dist 1
+            (vec![0.0, 2.0], 3), // dist 2
+        ];
+        let got = exact_knn(&data, &[0.0, 0.0], 3);
+        let ids: Vec<TupleId> = got.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert_eq!(got[0].distance, 0.0);
+        assert_eq!(got[1].distance, 1.0);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let data = vec![(vec![1.0], 9), (vec![1.0], 4), (vec![1.0], 7)];
+        let got = exact_knn(&data, &[0.0], 2);
+        assert_eq!(got.iter().map(|n| n.id).collect::<Vec<_>>(), vec![4, 7]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let data = vec![(vec![1.0], 1), (vec![2.0], 2)];
+        assert_eq!(exact_knn(&data, &[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn precision_recall_basics() {
+        let (p, r) = precision_recall(&[1, 2, 3, 4], &[2, 3, 5]);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_recall(&[], &[]), (1.0, 1.0));
+        assert_eq!(precision_recall(&[], &[1]), (0.0, 0.0));
+        assert_eq!(precision_recall(&[1], &[]), (0.0, 0.0));
+        assert_eq!(precision_recall(&[1, 2], &[1, 2]), (1.0, 1.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! An in-memory distributed file system stand-in.
+//!
+//! The 3-phase Hamming-join pipeline (Figure 5) reads inputs from DFS,
+//! writes the partitioned data and the local HA-Indexes back, and feeds
+//! them to the next job. This store provides the pieces that matter for
+//! the simulation: named files, typed records, fixed-size **block splits**
+//! (one map task per block), and read/write accounting.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Default records per block.
+pub const DEFAULT_BLOCK_RECORDS: usize = 4096;
+
+struct File {
+    /// Type-erased `Vec<Vec<T>>` of blocks.
+    blocks: Box<dyn Any + Send + Sync>,
+    records: usize,
+    block_count: usize,
+}
+
+/// A concurrent, typed, in-memory file store with block splits.
+#[derive(Default)]
+pub struct InMemoryDfs {
+    files: RwLock<HashMap<String, Arc<File>>>,
+    bytes_written: RwLock<usize>,
+}
+
+impl InMemoryDfs {
+    /// Fresh empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `records` to `path` in blocks of `block_records`, replacing
+    /// any existing file. `approx_record_bytes` feeds the write-volume
+    /// counter.
+    pub fn put_with_blocks<T: Clone + Send + Sync + 'static>(
+        &self,
+        path: &str,
+        records: Vec<T>,
+        block_records: usize,
+        approx_record_bytes: usize,
+    ) {
+        assert!(block_records >= 1, "block size must be >= 1");
+        let n = records.len();
+        let mut blocks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(block_records).max(1));
+        let mut rest = records;
+        while rest.len() > block_records {
+            let tail = rest.split_off(block_records);
+            blocks.push(rest);
+            rest = tail;
+        }
+        blocks.push(rest);
+        let file = File {
+            block_count: blocks.len(),
+            records: n,
+            blocks: Box::new(blocks),
+        };
+        self.files.write().insert(path.to_string(), Arc::new(file));
+        *self.bytes_written.write() += n * approx_record_bytes;
+    }
+
+    /// Writes with the default block size and no byte accounting.
+    pub fn put<T: Clone + Send + Sync + 'static>(&self, path: &str, records: Vec<T>) {
+        self.put_with_blocks(path, records, DEFAULT_BLOCK_RECORDS, 0);
+    }
+
+    /// Reads the whole file back as one vector.
+    ///
+    /// # Panics
+    /// If the file does not exist or was written with a different type.
+    pub fn get<T: Clone + Send + Sync + 'static>(&self, path: &str) -> Vec<T> {
+        self.splits::<T>(path).into_iter().flatten().collect()
+    }
+
+    /// Reads the file as block splits — one `Vec<T>` per block, the unit a
+    /// map task consumes.
+    pub fn splits<T: Clone + Send + Sync + 'static>(&self, path: &str) -> Vec<Vec<T>> {
+        let files = self.files.read();
+        let file = files
+            .get(path)
+            .unwrap_or_else(|| panic!("DFS file not found: {path}"));
+        file.blocks
+            .downcast_ref::<Vec<Vec<T>>>()
+            .unwrap_or_else(|| panic!("DFS file {path} holds a different record type"))
+            .clone()
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Record count of `path` (0 if missing).
+    pub fn record_count(&self, path: &str) -> usize {
+        self.files.read().get(path).map_or(0, |f| f.records)
+    }
+
+    /// Number of block splits of `path` (0 if missing).
+    pub fn block_count(&self, path: &str) -> usize {
+        self.files.read().get(path).map_or(0, |f| f.block_count)
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    /// All file paths, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total bytes written (per the caller-supplied record sizes).
+    pub fn bytes_written(&self) -> usize {
+        *self.bytes_written.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dfs = InMemoryDfs::new();
+        dfs.put("data/r", vec![1u32, 2, 3, 4, 5]);
+        assert_eq!(dfs.get::<u32>("data/r"), vec![1, 2, 3, 4, 5]);
+        assert_eq!(dfs.record_count("data/r"), 5);
+        assert!(dfs.exists("data/r"));
+        assert!(!dfs.exists("data/s"));
+    }
+
+    #[test]
+    fn blocks_split_at_requested_size() {
+        let dfs = InMemoryDfs::new();
+        dfs.put_with_blocks("f", (0..10u8).collect(), 4, 1);
+        assert_eq!(dfs.block_count("f"), 3);
+        let splits = dfs.splits::<u8>("f");
+        assert_eq!(splits[0], vec![0, 1, 2, 3]);
+        assert_eq!(splits[2], vec![8, 9]);
+        assert_eq!(dfs.bytes_written(), 10);
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_block() {
+        let dfs = InMemoryDfs::new();
+        dfs.put::<u64>("empty", vec![]);
+        assert_eq!(dfs.block_count("empty"), 1);
+        assert!(dfs.get::<u64>("empty").is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let dfs = InMemoryDfs::new();
+        dfs.put("f", vec![1u8]);
+        dfs.put("f", vec![9u8, 9]);
+        assert_eq!(dfs.get::<u8>("f"), vec![9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different record type")]
+    fn type_mismatch_panics() {
+        let dfs = InMemoryDfs::new();
+        dfs.put("f", vec![1u8]);
+        let _ = dfs.get::<u64>("f");
+    }
+
+    #[test]
+    fn delete_and_list() {
+        let dfs = InMemoryDfs::new();
+        dfs.put("b", vec![1u8]);
+        dfs.put("a", vec![2u8]);
+        assert_eq!(dfs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(dfs.delete("a"));
+        assert!(!dfs.delete("a"));
+        assert_eq!(dfs.list(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let dfs = std::sync::Arc::new(InMemoryDfs::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let dfs = dfs.clone();
+                s.spawn(move || {
+                    dfs.put(&format!("f{t}"), vec![t as u32; 100]);
+                    assert_eq!(dfs.get::<u32>(&format!("f{t}")).len(), 100);
+                });
+            }
+        });
+        assert_eq!(dfs.list().len(), 8);
+    }
+}

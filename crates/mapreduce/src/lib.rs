@@ -1,0 +1,52 @@
+//! # ha-mapreduce — a MapReduce runtime for algorithm evaluation
+//!
+//! The paper prototypes its distributed Hamming-join on Hadoop 0.22 over a
+//! 16-node cluster. This crate is the substitution (see DESIGN.md): a
+//! faithful, deterministic, multi-threaded MapReduce execution engine with
+//! the three properties the algorithms actually rely on —
+//!
+//! 1. **map → shuffle → reduce semantics** with pluggable partitioners and
+//!    optional combiners ([`job`]);
+//! 2. a **distributed cache** for broadcasting side data (pivots, hash
+//!    functions, the global HA-Index) to every worker, with the broadcast
+//!    volume charged to the job's shuffle accounting ([`cache`]);
+//! 3. **byte-accurate metrics**: every key/value crossing the shuffle
+//!    boundary is measured via [`ShuffleBytes`], and per-task wall-clock
+//!    times expose stragglers and skew ([`metrics`]) — the quantities
+//!    behind Figures 7 and 9.
+//!
+//! An in-memory [`dfs`] rounds out the Hadoop role: named files, block
+//! splits, and read/write between the chained jobs of the 3-phase join.
+//!
+//! ```
+//! use ha_mapreduce::{run_job, JobConfig};
+//!
+//! // Word count, the obligatory example.
+//! let docs = vec!["a b a".to_string(), "b b c".to_string()];
+//! let result = run_job(
+//!     &JobConfig::named("wordcount"),
+//!     docs,
+//!     |doc, emit| {
+//!         for w in doc.split_whitespace() {
+//!             emit(w.to_string(), 1u64);
+//!         }
+//!     },
+//!     |word, counts, out| out.push((word.clone(), counts.iter().sum::<u64>())),
+//! );
+//! let mut counts = result.outputs;
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 3), ("c".into(), 1)]);
+//! assert!(result.metrics.shuffle_bytes > 0);
+//! ```
+
+pub mod cache;
+pub mod dfs;
+pub mod job;
+pub mod metrics;
+mod shuffle;
+
+pub use cache::DistributedCache;
+pub use dfs::InMemoryDfs;
+pub use job::{hash_partition, run_job, run_job_partitioned, JobConfig, JobResult};
+pub use metrics::{JobMetrics, TaskMetrics};
+pub use shuffle::ShuffleBytes;

@@ -1,0 +1,143 @@
+//! Job metrics: shuffle volume, task timings, and load-balance statistics.
+//!
+//! §5 argues two things drive MapReduce join performance: the shuffle/IO
+//! volume between mappers and reducers, and load balance ("the slowest
+//! mapper or reducer determines the job running time"). These are exactly
+//! the quantities recorded here and plotted in Figures 7 and 9.
+
+use std::time::Duration;
+
+/// Timing and volume of one map or reduce task.
+#[derive(Clone, Debug, Default)]
+pub struct TaskMetrics {
+    /// Wall-clock time the task ran for.
+    pub duration: Duration,
+    /// Records consumed.
+    pub records_in: usize,
+    /// Records produced.
+    pub records_out: usize,
+}
+
+/// Aggregated metrics of one MapReduce job.
+#[derive(Clone, Debug, Default)]
+pub struct JobMetrics {
+    /// Human-readable job name.
+    pub job_name: String,
+    /// Per-map-task metrics.
+    pub map_tasks: Vec<TaskMetrics>,
+    /// Per-reduce-task metrics.
+    pub reduce_tasks: Vec<TaskMetrics>,
+    /// Bytes of intermediate key/value data crossing the shuffle.
+    pub shuffle_bytes: usize,
+    /// Bytes broadcast through the distributed cache (counted once per
+    /// receiving worker, like Hadoop's per-node cache materialization).
+    pub broadcast_bytes: usize,
+    /// Total wall-clock of the job end to end.
+    pub elapsed: Duration,
+}
+
+impl JobMetrics {
+    /// Straggler factor of the reduce phase: slowest task over mean task
+    /// input volume (1.0 = perfectly balanced). Returns 1.0 with no tasks.
+    pub fn reduce_skew(&self) -> f64 {
+        skew(self.reduce_tasks.iter().map(|t| t.records_in))
+    }
+
+    /// Straggler factor of the map phase.
+    pub fn map_skew(&self) -> f64 {
+        skew(self.map_tasks.iter().map(|t| t.records_in))
+    }
+
+    /// Total records entering the reduce phase.
+    pub fn reduce_input_records(&self) -> usize {
+        self.reduce_tasks.iter().map(|t| t.records_in).sum()
+    }
+
+    /// Sum of shuffle and broadcast traffic — the "data shuffling cost"
+    /// axis of Figure 7.
+    pub fn total_traffic_bytes(&self) -> usize {
+        self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Folds another job's metrics into this one (multi-job pipelines
+    /// report pipeline totals).
+    pub fn absorb(&mut self, other: &JobMetrics) {
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.elapsed += other.elapsed;
+        self.map_tasks.extend(other.map_tasks.iter().cloned());
+        self.reduce_tasks.extend(other.reduce_tasks.iter().cloned());
+    }
+}
+
+fn skew(volumes: impl Iterator<Item = usize>) -> f64 {
+    let v: Vec<usize> = volumes.collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    let max = *v.iter().max().expect("non-empty") as f64;
+    let mean = v.iter().sum::<usize>() as f64 / v.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(records_in: usize) -> TaskMetrics {
+        TaskMetrics {
+            records_in,
+            ..TaskMetrics::default()
+        }
+    }
+
+    #[test]
+    fn balanced_skew_is_one() {
+        let m = JobMetrics {
+            reduce_tasks: vec![task(100), task(100), task(100)],
+            ..JobMetrics::default()
+        };
+        assert!((m.reduce_skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_reduce_detected() {
+        let m = JobMetrics {
+            reduce_tasks: vec![task(10), task(10), task(280)],
+            ..JobMetrics::default()
+        };
+        assert!(m.reduce_skew() > 2.5, "skew {}", m.reduce_skew());
+        assert_eq!(m.reduce_input_records(), 300);
+    }
+
+    #[test]
+    fn empty_job_skew_defaults() {
+        let m = JobMetrics::default();
+        assert_eq!(m.reduce_skew(), 1.0);
+        assert_eq!(m.map_skew(), 1.0);
+        assert_eq!(m.total_traffic_bytes(), 0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = JobMetrics {
+            shuffle_bytes: 100,
+            broadcast_bytes: 5,
+            ..JobMetrics::default()
+        };
+        let b = JobMetrics {
+            shuffle_bytes: 50,
+            broadcast_bytes: 10,
+            reduce_tasks: vec![task(1)],
+            ..JobMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.shuffle_bytes, 150);
+        assert_eq!(a.broadcast_bytes, 15);
+        assert_eq!(a.reduce_tasks.len(), 1);
+    }
+}

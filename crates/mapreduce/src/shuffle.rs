@@ -1,0 +1,126 @@
+//! [`ShuffleBytes`] — how large is a record when it crosses the shuffle
+//! boundary?
+//!
+//! Hadoop serializes every intermediate key/value to disk and the network;
+//! the shuffle volume is the dominant distributed cost the paper optimizes
+//! (§5.4). Rather than pulling in a serialization framework, each shuffled
+//! type reports its wire size directly — which is also more faithful to
+//! "bytes of data moved" than any specific format's framing overhead.
+
+use ha_bitcode::{BinaryCode, MaskedCode};
+
+/// Size of a value, in bytes, when shuffled between map and reduce or
+/// broadcast through the distributed cache.
+pub trait ShuffleBytes {
+    /// Serialized size in bytes.
+    fn shuffle_bytes(&self) -> usize;
+}
+
+macro_rules! fixed_size {
+    ($($t:ty),*) => {
+        $(impl ShuffleBytes for $t {
+            #[inline]
+            fn shuffle_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+fixed_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl ShuffleBytes for () {
+    fn shuffle_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl ShuffleBytes for String {
+    fn shuffle_bytes(&self) -> usize {
+        // length prefix + UTF-8 payload
+        4 + self.len()
+    }
+}
+
+impl<T: ShuffleBytes> ShuffleBytes for Vec<T> {
+    fn shuffle_bytes(&self) -> usize {
+        4 + self.iter().map(ShuffleBytes::shuffle_bytes).sum::<usize>()
+    }
+}
+
+impl<T: ShuffleBytes> ShuffleBytes for Option<T> {
+    fn shuffle_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, ShuffleBytes::shuffle_bytes)
+    }
+}
+
+impl<T: ShuffleBytes + ?Sized> ShuffleBytes for &T {
+    fn shuffle_bytes(&self) -> usize {
+        (**self).shuffle_bytes()
+    }
+}
+
+impl<A: ShuffleBytes, B: ShuffleBytes> ShuffleBytes for (A, B) {
+    fn shuffle_bytes(&self) -> usize {
+        self.0.shuffle_bytes() + self.1.shuffle_bytes()
+    }
+}
+
+impl<A: ShuffleBytes, B: ShuffleBytes, C: ShuffleBytes> ShuffleBytes for (A, B, C) {
+    fn shuffle_bytes(&self) -> usize {
+        self.0.shuffle_bytes() + self.1.shuffle_bytes() + self.2.shuffle_bytes()
+    }
+}
+
+impl ShuffleBytes for BinaryCode {
+    /// Length prefix + packed bit payload — codes ship as raw words.
+    fn shuffle_bytes(&self) -> usize {
+        2 + self.len().div_ceil(8)
+    }
+}
+
+impl ShuffleBytes for MaskedCode {
+    fn shuffle_bytes(&self) -> usize {
+        2 + 2 * self.len().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u64.shuffle_bytes(), 8);
+        assert_eq!(0u8.shuffle_bytes(), 1);
+        assert_eq!(1.5f64.shuffle_bytes(), 8);
+        assert_eq!(().shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!("abc".to_string().shuffle_bytes(), 7);
+        assert_eq!(vec![1u32, 2, 3].shuffle_bytes(), 16);
+        assert_eq!((1u64, 2u32).shuffle_bytes(), 12);
+        assert_eq!(Some(5u8).shuffle_bytes(), 2);
+        assert_eq!(None::<u8>.shuffle_bytes(), 1);
+    }
+
+    #[test]
+    fn code_sizes_scale_with_length() {
+        let c32 = BinaryCode::zero(32);
+        let c512 = BinaryCode::zero(512);
+        assert_eq!(c32.shuffle_bytes(), 2 + 4);
+        assert_eq!(c512.shuffle_bytes(), 2 + 64);
+        let m = MaskedCode::full(c32);
+        assert_eq!(m.shuffle_bytes(), 2 + 8);
+    }
+
+    #[test]
+    fn vector_of_floats_models_feature_vectors() {
+        // A 225-d feature vector (NUS-WIDE profile) ≈ 1.8 KB — the cost
+        // PGBJ pays per shuffled tuple while code-based joins pay ~6 B.
+        let v = vec![0.0f64; 225];
+        assert_eq!(v.shuffle_bytes(), 4 + 225 * 8);
+    }
+}

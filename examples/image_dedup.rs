@@ -1,0 +1,111 @@
+//! Near-duplicate image detection — the paper's motivating application
+//! (§1: image content-based search and near-duplicate web page detection).
+//!
+//! Pipeline: synthetic "image features" (Flickr-shaped 512-d GIST
+//! substitutes) → SimHash (Charikar's random hyperplanes — the hash family
+//! behind Manku et al.'s near-duplicate detector, the paper's refs \[4, 5\])
+//! to 64-bit codes → Hamming self-join at a small threshold → connected
+//! components = duplicate clusters.
+//!
+//! ```text
+//! cargo run --release --example image_dedup
+//! ```
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::datagen::DatasetProfile;
+use hamming_suite::hashing::{SimHasher, SimilarityHasher};
+use hamming_suite::index::select::self_join;
+use hamming_suite::index::DynamicHaIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // A photo collection: 4,000 distinct originals, each its own point in
+    // GIST space (a dedup library, unlike a scene-recognition corpus, has
+    // no repeated subjects — so no mixture model here).
+    let dim = DatasetProfile::flickr().dim;
+    let mut library: Vec<Vec<f64>> = (0..4_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-8.0..8.0)).collect())
+        .collect();
+    let originals = library.len();
+    // …plus ~400 near-duplicates: re-encodes / light edits of random
+    // originals (tiny feature perturbations).
+    let dupes = 400;
+    for _ in 0..dupes {
+        let src = rng.gen_range(0..originals);
+        let near: Vec<f64> = library[src]
+            .iter()
+            .map(|&x| x + rng.gen_range(-0.02..0.02))
+            .collect();
+        library.push(near);
+    }
+    println!("library: {originals} originals + {dupes} near-duplicates");
+
+    // SimHash: bit i = sign of a random projection; near-identical
+    // features flip almost no bits, unrelated images flip ~half.
+    let hasher = SimHasher::new(64, library[0].len(), 2024);
+    let codes: Vec<(BinaryCode, u64)> = library
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (hasher.hash(v), i as u64))
+        .collect();
+
+    // Hamming self-join at a tight threshold.
+    let t = std::time::Instant::now();
+    let index = DynamicHaIndex::build(codes.clone());
+    let pairs = self_join(&index, &codes, 1);
+    println!(
+        "self-join at h=1: {} candidate duplicate pairs in {:?}",
+        pairs.len(),
+        t.elapsed()
+    );
+
+    // Union-find over the pairs → duplicate clusters.
+    let mut parent: Vec<usize> = (0..library.len()).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in &pairs {
+        let (ra, rb) = (find(&mut parent, a as usize), find(&mut parent, b as usize));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut cluster_sizes: std::collections::HashMap<usize, usize> = Default::default();
+    for i in 0..library.len() {
+        *cluster_sizes.entry(find(&mut parent, i)).or_default() += 1;
+    }
+    let dup_clusters = cluster_sizes.values().filter(|&&s| s > 1).count();
+    let clustered_images: usize = cluster_sizes.values().filter(|&&s| s > 1).sum();
+    println!("{dup_clusters} duplicate clusters covering {clustered_images} images");
+    assert!(
+        clustered_images < originals,
+        "most originals must remain singletons (precision sanity)"
+    );
+
+    // How many injected duplicates were caught? A duplicate i >= originals
+    // is caught when it shares a cluster with its source region.
+    let caught = (originals..library.len())
+        .filter(|&i| {
+            let root = find(&mut parent, i);
+            cluster_sizes[&root] > 1
+        })
+        .count();
+    println!(
+        "recall over injected duplicates: {caught}/{dupes} = {:.1}%",
+        100.0 * caught as f64 / dupes as f64
+    );
+    assert!(caught * 10 >= dupes * 8, "expected at least 80% of duplicates caught");
+}

@@ -1,0 +1,87 @@
+//! Online index maintenance (§4.5): a stream of inserts and deletes
+//! against a live Dynamic HA-Index, with continuous queries validating
+//! results against a linear-scan oracle after every batch.
+//!
+//! ```text
+//! cargo run --release --example online_maintenance
+//! ```
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::testkit::{clustered_dataset, oracle_select};
+use hamming_suite::index::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let code_len = 64;
+
+    // Start from a bulk load…
+    let initial = clustered_dataset(20_000, code_len, 16, 4, 1);
+    let mut live: Vec<(BinaryCode, u64)> = initial.clone();
+    let mut index = DynamicHaIndex::build_with(
+        initial,
+        DhaConfig {
+            insert_buffer_cap: 512,
+            ..DhaConfig::default()
+        },
+    );
+    println!(
+        "bulk-loaded {} tuples: {} internal nodes, depth {}",
+        index.len(),
+        index.internal_node_count(),
+        index.depth()
+    );
+
+    // …then run a mixed workload: 60% inserts, 40% deletes, in batches,
+    // querying between batches.
+    let mut next_id: u64 = 1_000_000;
+    let batches = 20;
+    let batch_size = 500;
+    let t = std::time::Instant::now();
+    for batch in 0..batches {
+        for _ in 0..batch_size {
+            if rng.gen_bool(0.6) || live.is_empty() {
+                // Insert: a perturbed copy of a live tuple (data drift).
+                let mut code = if live.is_empty() {
+                    BinaryCode::random(code_len, &mut rng)
+                } else {
+                    live[rng.gen_range(0..live.len())].0.clone()
+                };
+                for _ in 0..rng.gen_range(0..3) {
+                    code.flip(rng.gen_range(0..code_len));
+                }
+                index.insert(code.clone(), next_id);
+                live.push((code, next_id));
+                next_id += 1;
+            } else {
+                let pos = rng.gen_range(0..live.len());
+                let (code, id) = live.swap_remove(pos);
+                assert!(index.delete(&code, id), "delete of live tuple must succeed");
+            }
+        }
+        // Validate a query against the oracle.
+        let q = BinaryCode::random(code_len, &mut rng);
+        let h = rng.gen_range(3..10);
+        let mut got = index.search(&q, h);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(
+            got,
+            oracle_select(&live, &q, h),
+            "batch {batch}: index diverged from oracle"
+        );
+    }
+    let elapsed = t.elapsed();
+    index.flush();
+    index.check_invariants();
+    println!(
+        "{} maintenance ops + {batches} validated queries in {:?} \
+         ({:.1}k ops/s); final size {}",
+        batches * batch_size,
+        elapsed,
+        (batches * batch_size) as f64 / elapsed.as_secs_f64() / 1000.0,
+        index.len()
+    );
+    println!("all oracle checks passed ✔");
+}

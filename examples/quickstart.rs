@@ -1,0 +1,68 @@
+//! Quickstart: index binary codes, run Hamming-select and Hamming-join.
+//!
+//! Reproduces the paper's running example (Tables 2a/2b, Example 1) and
+//! then scales the same API up to a synthetic workload.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::select::{hamming_join, hamming_select};
+use hamming_suite::index::testkit::random_dataset;
+use hamming_suite::index::{DynamicHaIndex, HammingIndex};
+
+fn main() {
+    // --- The paper's running example -------------------------------------
+    // Table 2a (dataset S): eight 9-bit codes.
+    let table_s: Vec<(BinaryCode, u64)> = [
+        "001001010", "001011101", "011001100", "101001010", "101110110",
+        "101011101", "101101010", "111001100",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| (s.parse().unwrap(), i as u64))
+    .collect();
+
+    let index = DynamicHaIndex::build(table_s.clone());
+
+    // Hamming-select: query 101100010 with threshold h = 3 (Example 1).
+    let query: BinaryCode = "101100010".parse().unwrap();
+    let hits = hamming_select(&index, &query, 3);
+    println!("Hamming-select(101100010, h=3) = {hits:?}  (paper: t0, t3, t4, t6)");
+    assert_eq!(hits, vec![0, 3, 4, 6]);
+
+    // Hamming-join with Table 2b (dataset R).
+    let table_r: Vec<(BinaryCode, u64)> = ["101100010", "101010010", "110000010"]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.parse().unwrap(), i as u64))
+        .collect();
+    let pairs = hamming_join(&index, &table_r, 3);
+    println!("Hamming-join(R, S, h=3) produced {} pairs: {pairs:?}", pairs.len());
+    assert_eq!(pairs.len(), 9, "Example 1 reports 9 qualifying pairs");
+
+    // --- The same API at scale -------------------------------------------
+    let n = 100_000;
+    let data = random_dataset(n, 64, 42);
+    let t = std::time::Instant::now();
+    let big = DynamicHaIndex::build(data.clone());
+    println!(
+        "\nBuilt a {}-bit DHA-Index over {n} codes in {:?} \
+         ({} internal nodes, {} leaves, depth {})",
+        big.code_len(),
+        t.elapsed(),
+        big.internal_node_count(),
+        big.leaf_count(),
+        big.depth(),
+    );
+
+    let probe = data[12_345].0.clone();
+    let t = std::time::Instant::now();
+    let near = big.search(&probe, 5);
+    println!(
+        "search(h=5) found {} tuples in {:?} (linear scan would touch all {n})",
+        near.len(),
+        t.elapsed()
+    );
+}

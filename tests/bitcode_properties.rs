@@ -1,0 +1,147 @@
+//! Property-based tests of the bit-level substrate through the public
+//! facade — the algebra the indexes silently rely on.
+
+use hamming_suite::bitcode::gray::{gray_cmp, gray_encode, gray_rank};
+use hamming_suite::bitcode::segment::Segmentation;
+use hamming_suite::bitcode::{BinaryCode, MaskedCode};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn code(seed: u64, len: usize) -> BinaryCode {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BinaryCode::random(len, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Boolean-algebra laws on codes.
+    #[test]
+    fn boolean_algebra_laws(seed in any::<u64>(), len in 1usize..300) {
+        let a = code(seed, len);
+        let b = code(seed ^ 1, len);
+        let c = code(seed ^ 2, len);
+        // De Morgan.
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+        // Distributivity.
+        prop_assert_eq!(a.and(&b.or(&c)), a.and(&b).or(&a.and(&c)));
+        // XOR via AND/OR.
+        prop_assert_eq!(a.xor(&b), a.or(&b).and(&a.and(&b).not()));
+        // Involution and identity.
+        prop_assert_eq!(a.not().not(), a.clone());
+        prop_assert_eq!(a.xor(&a).count_ones(), 0);
+    }
+
+    /// Hamming distance = popcount of XOR; masked distance decomposes over
+    /// disjoint masks.
+    #[test]
+    fn distance_decomposition(seed in any::<u64>(), len in 2usize..300) {
+        let a = code(seed, len);
+        let b = code(seed ^ 3, len);
+        prop_assert_eq!(a.hamming(&b), a.xor(&b).count_ones());
+        let mask = code(seed ^ 4, len);
+        let co_mask = mask.not();
+        prop_assert_eq!(
+            a.hamming_masked(&b, &mask) + a.hamming_masked(&b, &co_mask),
+            a.hamming(&b)
+        );
+    }
+
+    /// Gray code: bijection and unit-step adjacency.
+    #[test]
+    fn gray_bijection_and_adjacency(seed in any::<u64>(), len in 2usize..200) {
+        let c = code(seed, len);
+        prop_assert_eq!(gray_encode(&gray_rank(&c)), c.clone());
+        // Successor in rank space = 1-bit step in code space.
+        let mut rank = gray_rank(&c);
+        if !rank.get(len - 1) {
+            let a = gray_encode(&rank);
+            rank.set(len - 1, true);
+            let b = gray_encode(&rank);
+            prop_assert_eq!(a.hamming(&b), 1);
+        }
+        // gray_cmp is consistent with rank ordering.
+        let d = code(seed ^ 5, len);
+        prop_assert_eq!(gray_cmp(&c, &d), gray_rank(&c).cmp(&gray_rank(&d)));
+    }
+
+    /// Masked-code laws: common() is the greatest lower bound in the
+    /// pattern lattice restricted to the two codes.
+    #[test]
+    fn masked_common_is_glb(seed in any::<u64>(), len in 1usize..200) {
+        let x = code(seed, len);
+        let y = code(seed ^ 6, len);
+        let g = MaskedCode::full(x.clone()).common(&MaskedCode::full(y.clone()));
+        prop_assert!(g.matches(&x) && g.matches(&y));
+        // Any pattern matching both has a mask contained in g's mask.
+        let probe_mask = code(seed ^ 7, len);
+        let candidate = MaskedCode::new(x.clone(), probe_mask).unwrap();
+        if candidate.matches(&y) {
+            prop_assert!(candidate.mask().is_subset_of(g.mask()));
+        }
+    }
+
+    /// Segment distances always sum to the total distance, for any
+    /// balanced segmentation.
+    #[test]
+    fn segmentation_additivity(seed in any::<u64>(), len in 8usize..256, parts in 2usize..8) {
+        let parts = parts.max(len.div_ceil(64));
+        let seg = Segmentation::new(len, parts.min(len));
+        let a = code(seed, len);
+        let b = code(seed ^ 8, len);
+        let sum: u32 = (0..seg.count())
+            .map(|i| (seg.extract(&a, i) ^ seg.extract(&b, i)).count_ones())
+            .sum();
+        prop_assert_eq!(sum, a.hamming(&b));
+    }
+
+    /// The pigeonhole facts the MH/HEngine guarantees rest on.
+    #[test]
+    fn pigeonhole_for_segment_filters(seed in any::<u64>(), h in 0u32..8) {
+        let len = 32;
+        let a = code(seed, len);
+        // Construct b within distance h.
+        let mut b = a.clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 9);
+        for _ in 0..h {
+            b.flip(rng.gen_range(0..len));
+        }
+        let d = a.hamming(&b);
+        prop_assert!(d <= h);
+        // With h+1 segments, some segment matches exactly.
+        let seg = Segmentation::new(len, (h as usize + 1).min(len));
+        let exact = (0..seg.count()).any(|i| seg.extract(&a, i) == seg.extract(&b, i));
+        prop_assert!(exact, "Manku pigeonhole violated at d={d}");
+        // With ⌈(h+1)/2⌉ segments, some segment is within distance 1.
+        let r = ((h as usize + 1).div_ceil(2)).max(1);
+        let seg2 = Segmentation::new(len, r);
+        let near = (0..seg2.count())
+            .any(|i| (seg2.extract(&a, i) ^ seg2.extract(&b, i)).count_ones() <= 1);
+        prop_assert!(near, "HEngine pigeonhole violated at d={d}");
+    }
+}
+
+/// Deterministic spot checks that complement the proptests.
+#[test]
+fn gray_sequence_of_width_4_is_the_classic_one() {
+    let seq: Vec<String> = (0..16)
+        .map(|i| gray_encode(&BinaryCode::from_u64(i, 4)).to_string())
+        .collect();
+    assert_eq!(
+        seq,
+        vec![
+            "0000", "0001", "0011", "0010", "0110", "0111", "0101", "0100",
+            "1100", "1101", "1111", "1110", "1010", "1011", "1001", "1000",
+        ]
+    );
+}
+
+#[test]
+fn pattern_notation_roundtrip() {
+    for s in ["1·0·1", "·····", "10101", "·0·0·0·0"] {
+        let p: MaskedCode = s.parse().unwrap();
+        assert_eq!(p.to_string(), *s);
+    }
+}

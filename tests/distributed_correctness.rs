@@ -1,0 +1,167 @@
+//! Distributed-layer integration: the MapReduce pipelines agree with the
+//! centralized algorithms, and the MapReduce runtime behaves like a
+//! deterministic Hadoop stand-in.
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::datagen::{generate, DatasetProfile};
+use hamming_suite::distributed::pgbj::{pgbj_self_knn_join, PgbjConfig};
+use hamming_suite::distributed::pipeline::{mrha_hamming_join, mrha_self_join, MrHaConfig};
+use hamming_suite::distributed::pmh::pmh_hamming_join;
+use hamming_suite::distributed::preprocess::preprocess;
+use hamming_suite::distributed::JoinOption;
+use hamming_suite::hashing::SimilarityHasher;
+use hamming_suite::index::select::nested_loop_join;
+use hamming_suite::knn::exact_knn;
+use hamming_suite::mapreduce::{run_job, InMemoryDfs, JobConfig};
+
+fn dataset(n: usize, seed: u64, base: u64) -> Vec<(Vec<f64>, u64)> {
+    generate(&DatasetProfile::tiny(12, 4), n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, base + i as u64))
+        .collect()
+}
+
+fn cfg(option: JoinOption) -> MrHaConfig {
+    MrHaConfig {
+        partitions: 6,
+        workers: 4,
+        option,
+        ..MrHaConfig::default()
+    }
+}
+
+#[test]
+fn mrha_options_and_pmh_all_agree_with_central_join() {
+    // Same generator seed ⇒ overlapping distributions ⇒ non-empty join.
+    let r = dataset(150, 81, 0);
+    let s = dataset(180, 81, 100_000);
+    let a = mrha_hamming_join(&r, &s, &cfg(JoinOption::A));
+    let b = mrha_hamming_join(&r, &s, &cfg(JoinOption::B));
+    let pmh = pmh_hamming_join(&r, &s, 10, &cfg(JoinOption::A));
+    assert!(a.pairs.len() >= 100, "workload too sparse ({})", a.pairs.len());
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.pairs, pmh.pairs);
+
+    // Centralized reference under the same learned hash (same seed).
+    let c = cfg(JoinOption::A);
+    let pre = preprocess(&r, &s, c.sample_rate, c.code_len, c.partitions, c.seed);
+    let rc: Vec<(BinaryCode, u64)> = r.iter().map(|(v, id)| (pre.hasher.hash(v), *id)).collect();
+    let sc: Vec<(BinaryCode, u64)> = s.iter().map(|(v, id)| (pre.hasher.hash(v), *id)).collect();
+    assert_eq!(a.pairs, nested_loop_join(&rc, &sc, c.h));
+}
+
+#[test]
+fn traffic_ordering_matches_figure_7() {
+    // MRHA-B ≤ MRHA-A < PMH on total traffic, even at test scale.
+    let data = dataset(400, 83, 0);
+    let a = mrha_self_join(&data, &cfg(JoinOption::A));
+    let b = mrha_self_join(&data, &cfg(JoinOption::B));
+    let pmh = pmh_hamming_join(&data, &data, 10, &cfg(JoinOption::A));
+    let pgbj = pgbj_self_knn_join(
+        &data,
+        &PgbjConfig {
+            num_pivots: 6,
+            workers: 4,
+            k: 10,
+            ..PgbjConfig::default()
+        },
+    );
+    let (ta, tb, tp) = (
+        a.metrics.total_traffic_bytes(),
+        b.metrics.total_traffic_bytes(),
+        pmh.metrics.total_traffic_bytes(),
+    );
+    assert!(tb < tp && ta < tp, "MRHA ({ta}/{tb}) below PMH ({tp})");
+    // PGBJ ships raw vectors with replication: the heaviest shuffle.
+    assert!(
+        pgbj.metrics.shuffle_bytes > a.metrics.shuffle_bytes,
+        "PGBJ {} vs MRHA-A {}",
+        pgbj.metrics.shuffle_bytes,
+        a.metrics.shuffle_bytes
+    );
+}
+
+#[test]
+fn pgbj_is_exact_for_knn() {
+    let data = dataset(250, 84, 0);
+    let outcome = pgbj_self_knn_join(
+        &data,
+        &PgbjConfig {
+            num_pivots: 5,
+            workers: 4,
+            k: 4,
+            ..PgbjConfig::default()
+        },
+    );
+    assert_eq!(outcome.neighbours.len(), 250);
+    for (id, neigh) in outcome.neighbours.iter().step_by(17) {
+        let (v, _) = &data[*id as usize];
+        let rest: Vec<_> = data.iter().filter(|(_, o)| o != id).cloned().collect();
+        let truth: Vec<u64> = exact_knn(&rest, v, 4).into_iter().map(|n| n.id).collect();
+        let mut got = neigh.clone();
+        let mut want = truth.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "tuple {id}");
+    }
+}
+
+#[test]
+fn load_balance_beats_naive_hash_on_skewed_data() {
+    // Heavily skewed profile: pivot partitioning must keep reduce skew low.
+    let profile = DatasetProfile {
+        skew: 1.6,
+        ..DatasetProfile::tiny(12, 10)
+    };
+    let data: Vec<(Vec<f64>, u64)> = generate(&profile, 1_200, 85)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, i as u64))
+        .collect();
+    let outcome = mrha_self_join(&data, &cfg(JoinOption::A));
+    assert!(
+        outcome.metrics.reduce_skew() < 3.0,
+        "reduce skew {}",
+        outcome.metrics.reduce_skew()
+    );
+}
+
+#[test]
+fn mapreduce_runtime_roundtrip_via_dfs() {
+    // A two-job pipeline chained through the DFS, the Figure 5 shape.
+    let dfs = InMemoryDfs::new();
+    dfs.put_with_blocks("input/r", (0..1000u64).collect(), 128, 8);
+    assert_eq!(dfs.block_count("input/r"), 8);
+
+    // Job 1: square every record, write back.
+    let job1 = run_job(
+        &JobConfig::named("square").with_workers(4).with_reducers(4),
+        dfs.get::<u64>("input/r"),
+        |x, emit| emit(x % 4, x * x),
+        |_, vs, out: &mut Vec<u64>| out.extend(vs),
+    );
+    dfs.put("tmp/squares", job1.outputs);
+
+    // Job 2: global sum.
+    let job2 = run_job(
+        &JobConfig::named("sum").with_workers(4).with_reducers(1),
+        dfs.get::<u64>("tmp/squares"),
+        |x, emit| emit((), x),
+        |_, vs, out: &mut Vec<u64>| out.push(vs.iter().sum()),
+    );
+    let want: u64 = (0..1000u64).map(|x| x * x).sum();
+    assert_eq!(job2.outputs, vec![want]);
+    assert!(job1.metrics.shuffle_bytes > 0 && job2.metrics.shuffle_bytes > 0);
+}
+
+#[test]
+fn self_join_pairs_symmetric_clean() {
+    let data = dataset(200, 86, 0);
+    let outcome = mrha_self_join(&data, &cfg(JoinOption::A));
+    let mut seen = std::collections::HashSet::new();
+    for (a, b) in &outcome.pairs {
+        assert!(a < b, "ordered pairs only");
+        assert!(seen.insert((*a, *b)), "no duplicates");
+    }
+}

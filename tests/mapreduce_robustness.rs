@@ -1,0 +1,170 @@
+//! Robustness and semantics tests of the MapReduce runtime: determinism
+//! under scheduling, skew reporting, combiner-free grouping guarantees,
+//! and failure propagation.
+
+use hamming_suite::mapreduce::{
+    hash_partition, run_job, run_job_partitioned, DistributedCache, InMemoryDfs, JobConfig,
+    ShuffleBytes,
+};
+
+#[test]
+fn results_independent_of_worker_and_reducer_counts() {
+    let inputs: Vec<u64> = (0..2_000).collect();
+    let reference: Vec<(u64, u64)> = {
+        let mut v: Vec<(u64, u64)> = (0..13u64)
+            .map(|k| (k, (0..2_000u64).filter(|x| x % 13 == k).sum()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    for workers in [1usize, 2, 7] {
+        for reducers in [1usize, 3, 13, 40] {
+            let mut got = run_job(
+                &JobConfig::named("det")
+                    .with_workers(workers)
+                    .with_reducers(reducers),
+                inputs.clone(),
+                |x, emit| emit(x % 13, x),
+                |k, vs, out| out.push((*k, vs.iter().sum::<u64>())),
+            )
+            .outputs;
+            got.sort_unstable();
+            assert_eq!(got, reference, "workers={workers} reducers={reducers}");
+        }
+    }
+}
+
+#[test]
+fn hash_partition_is_deterministic_and_total() {
+    for key in 0..1_000u64 {
+        let p = hash_partition(&key, 7);
+        assert!(p < 7);
+        assert_eq!(p, hash_partition(&key, 7), "same key, same partition");
+    }
+}
+
+#[test]
+#[should_panic(expected = "map task panicked")]
+fn mapper_panic_fails_the_job_loudly() {
+    let _ = run_job(
+        &JobConfig::named("boom").with_workers(2).with_reducers(2),
+        vec![1u64, 2, 3],
+        |x, emit| {
+            if x == 2 {
+                panic!("injected mapper failure");
+            }
+            emit(x, x);
+        },
+        |_, vs, out: &mut Vec<u64>| out.extend(vs),
+    );
+}
+
+#[test]
+#[should_panic(expected = "reduce task panicked")]
+fn reducer_panic_fails_the_job_loudly() {
+    let _ = run_job(
+        &JobConfig::named("boom").with_workers(2).with_reducers(2),
+        vec![1u64, 2, 3],
+        |x, emit| emit(x, x),
+        |_, _, _: &mut Vec<u64>| panic!("injected reducer failure"),
+    );
+}
+
+#[test]
+#[should_panic(expected = "map task panicked")] // the assert fires inside the map task
+fn out_of_range_partitioner_is_rejected() {
+    let _ = run_job_partitioned(
+        &JobConfig::named("oob").with_workers(1).with_reducers(2),
+        vec![1u64],
+        |x, emit| emit(x, x),
+        |_, n| n + 5, // out of range
+        |_, vs, out: &mut Vec<u64>| out.extend(vs),
+    );
+}
+
+#[test]
+fn map_only_style_job_with_unit_values() {
+    // A "map-only" pattern: reducer is the identity on keys.
+    let result = run_job(
+        &JobConfig::named("ids").with_workers(3).with_reducers(3),
+        (0..100u64).collect::<Vec<_>>(),
+        |x, emit| emit(x * 2, ()),
+        |k, _, out| out.push(*k),
+    );
+    let mut got = result.outputs;
+    got.sort_unstable();
+    assert_eq!(got, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+}
+
+#[test]
+fn metrics_reflect_real_volumes() {
+    let n = 500usize;
+    let result = run_job(
+        &JobConfig::named("vol").with_workers(4).with_reducers(4),
+        (0..n as u64).collect::<Vec<_>>(),
+        |x, emit| {
+            // Two records out per record in.
+            emit(x % 10, x);
+            emit((x + 1) % 10, x);
+        },
+        |_, vs, out: &mut Vec<u64>| out.push(vs.len() as u64),
+    );
+    let m = &result.metrics;
+    assert_eq!(m.shuffle_bytes, 2 * n * 16, "(u64,u64) = 16B each");
+    assert_eq!(m.reduce_input_records(), 2 * n);
+    let map_in: usize = m.map_tasks.iter().map(|t| t.records_in).sum();
+    assert_eq!(map_in, n);
+    let map_out: usize = m.map_tasks.iter().map(|t| t.records_out).sum();
+    assert_eq!(map_out, 2 * n);
+    assert!(m.elapsed.as_nanos() > 0);
+}
+
+#[test]
+fn dfs_blocks_drive_map_splits() {
+    // One map task per DFS block — the Hadoop input-split contract.
+    let dfs = InMemoryDfs::new();
+    dfs.put_with_blocks("f", (0..100u32).collect(), 25, 4);
+    let splits = dfs.splits::<u32>("f");
+    assert_eq!(splits.len(), 4);
+    // Feed splits as inputs (one split = one logical task's records).
+    let result = run_job(
+        &JobConfig::named("per-split").with_workers(4).with_reducers(2),
+        splits,
+        |split, emit| emit((), split.len() as u64),
+        |_, vs, out| out.push(vs.iter().sum::<u64>()),
+    );
+    assert_eq!(result.outputs, vec![100]);
+}
+
+#[test]
+fn broadcast_cost_model() {
+    let payload: Vec<u64> = (0..1000).collect();
+    let bytes = payload.shuffle_bytes();
+    let cache = DistributedCache::broadcast(payload, 16);
+    assert_eq!(cache.traffic_bytes(), bytes * 16);
+    // All handles alias one copy in-process.
+    let a = cache.get();
+    let b = cache.get();
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn stress_many_keys_single_worker_vs_many() {
+    // 50k records over 5k keys: grouping correctness at volume.
+    let inputs: Vec<u64> = (0..50_000).collect();
+    let run = |w: usize| {
+        let mut out = run_job(
+            &JobConfig::named("stress").with_workers(w).with_reducers(8),
+            inputs.clone(),
+            |x, emit| emit(x % 5_000, 1u64),
+            |k, vs, out| out.push((*k, vs.len())),
+        )
+        .outputs;
+        out.sort_unstable();
+        out
+    };
+    let single = run(1);
+    let multi = run(8);
+    assert_eq!(single, multi);
+    assert!(single.iter().all(|&(_, c)| c == 10));
+}
