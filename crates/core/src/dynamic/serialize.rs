@@ -414,7 +414,7 @@ mod tests {
         for _ in 0..200 {
             let mut mutated = blob.clone();
             let pos = rng.gen_range(0..mutated.len());
-            mutated[pos] ^= 1 << rng.gen_range(0..8);
+            mutated[pos] ^= 1u8 << rng.gen_range(0..8u32);
             if let Ok(decoded) = DynamicHaIndex::from_bytes(&mutated, DhaConfig::default()) {
                 // Valid decode: the invariant held; searching must not
                 // panic either.

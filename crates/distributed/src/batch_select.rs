@@ -13,7 +13,7 @@
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::{HammingIndex, TupleId};
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobConfig, JobMetrics};
+use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics};
 
 use crate::pipeline::{MrHaConfig, PhaseTimes};
 use crate::preprocess::preprocess;
@@ -61,9 +61,7 @@ pub fn mrha_batch_select(
     let partitioner = &pre.partitioner;
     let dha = cfg.dha.clone();
     let h = cfg.h;
-    let config = JobConfig::named("mrha-batch-select")
-        .with_workers(cfg.workers)
-        .with_reducers(cfg.partitions);
+    let config = crate::job_config("mrha-batch-select", cfg.workers, cfg.partitions);
     let result = run_job_partitioned(
         &config,
         s.to_vec(),

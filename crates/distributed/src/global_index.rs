@@ -4,7 +4,7 @@
 //! locals into the global index.
 
 use ha_core::dynamic::{DhaConfig, DynamicHaIndex};
-use ha_mapreduce::{run_job_partitioned, JobConfig, JobMetrics};
+use ha_mapreduce::{run_job_partitioned, JobMetrics};
 
 use crate::preprocess::Preprocessed;
 use crate::VecTuple;
@@ -29,9 +29,7 @@ pub fn build_global_index(
     let hasher = pre.hasher.clone();
     let partitioner = &pre.partitioner;
     let dha = dha.clone();
-    let config = JobConfig::named("mrha-index-build")
-        .with_workers(workers)
-        .with_reducers(partitions);
+    let config = crate::job_config("mrha-index-build", workers, partitions);
 
     let result = run_job_partitioned(
         &config,

@@ -13,9 +13,7 @@
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::{HammingIndex, TupleId};
-use ha_mapreduce::{
-    run_job, run_job_partitioned, DistributedCache, JobConfig, JobMetrics, ShuffleBytes,
-};
+use ha_mapreduce::{run_job, run_job_partitioned, DistributedCache, JobMetrics, ShuffleBytes};
 
 use crate::preprocess::Preprocessed;
 use crate::VecTuple;
@@ -68,9 +66,7 @@ pub fn join_option_a(
     );
     let hasher = pre.hasher.clone();
     let partitioner = &pre.partitioner;
-    let config = JobConfig::named("mrha-join-A")
-        .with_workers(workers)
-        .with_reducers(partitions);
+    let config = crate::job_config("mrha-join-A", workers, partitions);
 
     let shared = cache.get();
     let result = run_job_partitioned(
@@ -116,9 +112,7 @@ pub fn join_option_b(
     );
     let hasher = pre.hasher.clone();
     let partitioner = &pre.partitioner;
-    let config = JobConfig::named("mrha-join-B")
-        .with_workers(workers)
-        .with_reducers(partitions);
+    let config = crate::job_config("mrha-join-B", workers, partitions);
 
     // Job 1: probe — emits (qualifying R code, s id).
     let shared = cache.get();
@@ -163,9 +157,7 @@ pub fn join_option_b(
         .chain(probe.outputs.iter().cloned().map(|m| (None, Some(m))))
         .collect();
     let post = run_job(
-        &JobConfig::named("mrha-join-B-post")
-            .with_workers(workers)
-            .with_reducers(partitions),
+        &crate::job_config("mrha-join-B-post", workers, partitions),
         join_inputs,
         move |input, emit| match input {
             (Some((v, rid)), None) => {

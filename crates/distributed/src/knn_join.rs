@@ -11,7 +11,7 @@
 
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::TupleId;
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobConfig, JobMetrics};
+use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics};
 
 use crate::global_index::build_global_index;
 use crate::join::index_broadcast_bytes;
@@ -87,9 +87,7 @@ pub fn mrha_knn_join(
     let hasher = pre.hasher.clone();
     let partitioner = &pre.partitioner;
     let shared = cache.get();
-    let config = JobConfig::named("mrha-knn-join")
-        .with_workers(cfg.workers)
-        .with_reducers(cfg.partitions);
+    let config = crate::job_config("mrha-knn-join", cfg.workers, cfg.partitions);
     let result = run_job_partitioned(
         &config,
         r.to_vec(),

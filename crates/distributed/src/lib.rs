@@ -41,6 +41,24 @@ pub use pivot::PivotPartitioner;
 pub use preprocess::Preprocessed;
 
 use ha_core::TupleId;
+use ha_mapreduce::JobConfig;
 
 /// A dataset tuple: the original feature vector plus its id.
 pub type VecTuple = (Vec<f64>, TupleId);
+
+/// Backoff seed shared by every pipeline job, so multi-job runs replay
+/// identical retry schedules.
+const FAULT_SEED: u64 = 0x4A_2015_EDB7;
+
+/// Standard [`JobConfig`] of every pipeline job: besides workers and
+/// reducers it opts into the runtime's fault-tolerance policy — one retry
+/// per task (Hadoop defaults to four; our in-process tasks only fail on
+/// panics, where a second identical attempt either recovers an injected
+/// fault or proves the failure deterministic) with a short seeded backoff.
+pub(crate) fn job_config(name: &str, workers: usize, reducers: usize) -> JobConfig {
+    JobConfig::named(name)
+        .with_workers(workers)
+        .with_reducers(reducers)
+        .with_max_attempts(2)
+        .with_backoff(std::time::Duration::from_millis(2), FAULT_SEED)
+}

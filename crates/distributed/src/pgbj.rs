@@ -22,7 +22,7 @@
 
 use ha_core::TupleId;
 use ha_knn::exact::sq_euclidean;
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobConfig, JobMetrics, ShuffleBytes};
+use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics, ShuffleBytes};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -94,9 +94,7 @@ pub fn pgbj_self_knn_join(data: &[VecTuple], cfg: &PgbjConfig) -> PgbjOutcome {
     let cache = DistributedCache::broadcast_sized(pivots, num_pivots, pivot_bytes);
     let pivots_shared = cache.get();
 
-    let config = JobConfig::named("pgbj-self-knn-join")
-        .with_workers(cfg.workers)
-        .with_reducers(num_pivots);
+    let config = crate::job_config("pgbj-self-knn-join", cfg.workers, num_pivots);
     let k = cfg.k;
     let pivots_map = pivots_shared.clone();
     let pivots_red = pivots_shared.clone();

@@ -14,7 +14,7 @@
 
 use ha_core::select::hamming_join;
 use ha_core::{MultiHashTable, TupleId};
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobConfig, ShuffleBytes};
+use ha_mapreduce::{run_job_partitioned, DistributedCache, ShuffleBytes};
 
 use crate::pipeline::{JoinOutcome, MrHaConfig, PhaseTimes};
 use crate::preprocess::preprocess;
@@ -46,9 +46,7 @@ pub fn pmh_hamming_join(
     let t = std::time::Instant::now();
     let hasher = pre.hasher.clone();
     let shared_r = cache.get();
-    let config = JobConfig::named("pmh-join")
-        .with_workers(cfg.workers)
-        .with_reducers(cfg.partitions);
+    let config = crate::job_config("pmh-join", cfg.workers, cfg.partitions);
     let h = cfg.h;
     let partitions = cfg.partitions as u64;
     let result = run_job_partitioned(

@@ -1,4 +1,5 @@
-//! The job runner: typed map → shuffle → reduce over a thread pool.
+//! The job runner: typed map → shuffle → reduce over a thread pool, with
+//! Hadoop-style fault tolerance.
 //!
 //! The execution mirrors Hadoop's architecture at the level the algorithms
 //! care about:
@@ -9,17 +10,46 @@
 //!   per reducer (Hadoop's map-side spill), measuring the serialized bytes
 //!   of every record via [`ShuffleBytes`] — that sum is the job's shuffle
 //!   cost;
-//! * each reduce task merges its buckets from all map tasks, groups by key
-//!   in **sorted key order** (Hadoop's merge-sort), and invokes the reducer
-//!   once per key.
+//! * each reduce task merges its buckets from all map tasks, groups its
+//!   keys in **sorted key order** (Hadoop's merge-sort), and invokes the
+//!   reducer once per key.
 //!
-//! Sorted grouping plus stable task ordering makes every job fully
-//! deterministic, which the experiment harness and the test suite rely on.
+//! # Fault tolerance
+//!
+//! Every task runs under a per-task **supervisor**:
+//!
+//! * a panicking attempt is **isolated** with `catch_unwind` — it fails
+//!   that attempt, never the whole job;
+//! * failed attempts are **retried** up to [`JobConfig::max_attempts`]
+//!   times, with deterministic seeded exponential backoff between
+//!   attempts ([`JobConfig::with_backoff`]);
+//! * when an attempt exceeds the configured deadline
+//!   ([`JobConfig::with_speculation`]), a **speculative** duplicate is
+//!   launched and the first attempt to succeed wins — Hadoop's
+//!   speculative execution, for stragglers rather than failures;
+//! * a task whose attempts are exhausted fails the job with a typed
+//!   [`JobError`] instead of a panic.
+//!
+//! # Determinism
+//!
+//! Mappers, partitioners, and reducers are required to be **pure**: their
+//! output must be a function of their input only. Under that contract
+//! every attempt of a task produces identical output, so which attempt
+//! wins (first, retried, or speculative) is unobservable in the results;
+//! combined with sorted-key grouping and stable task ordering, a job's
+//! output is byte-identical for any worker count and any fault schedule
+//! that leaves every task at least one successful attempt. The test suite
+//! (`tests/mapreduce_robustness.rs`, `tests/fault_properties.rs`) pins
+//! this property down with deterministic fault injection ([`crate::fault`]).
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::time::Instant;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
 
+use crate::fault::{Fault, FaultInjector, TaskId};
 use crate::metrics::{JobMetrics, TaskMetrics};
 use crate::shuffle::ShuffleBytes;
 
@@ -32,10 +62,22 @@ pub struct JobConfig {
     pub num_workers: usize,
     /// Reduce tasks / partitions (the paper's `N`).
     pub num_reducers: usize,
+    /// Failed attempts allowed per task before the job fails (Hadoop's
+    /// `mapreduce.map.maxattempts`). `1` = fail fast, no retries.
+    pub max_attempts: u32,
+    /// Deadline after which a straggling attempt gets a speculative
+    /// duplicate (Hadoop speculative execution). `None` disables it.
+    pub speculation_after: Option<Duration>,
+    /// Base delay of the exponential retry backoff; `ZERO` retries
+    /// immediately (the test-suite setting).
+    pub backoff_base: Duration,
+    /// Seed of the deterministic backoff jitter.
+    pub backoff_seed: u64,
 }
 
 impl JobConfig {
-    /// A config named `name` with parallelism matched to the host.
+    /// A config named `name` with parallelism matched to the host, one
+    /// retry per task, and no speculation.
     pub fn named(name: &str) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -44,6 +86,10 @@ impl JobConfig {
             name: name.to_string(),
             num_workers: workers,
             num_reducers: workers,
+            max_attempts: 2,
+            speculation_after: None,
+            backoff_base: Duration::ZERO,
+            backoff_seed: 0xEDB7_2015,
         }
     }
 
@@ -60,7 +106,79 @@ impl JobConfig {
         self.num_workers = n;
         self
     }
+
+    /// Sets how many failed attempts each task may burn before the job
+    /// fails (`1` disables retries).
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one attempt");
+        self.max_attempts = n;
+        self
+    }
+
+    /// Enables speculative execution: an attempt running longer than
+    /// `deadline` gets a duplicate launch, first success wins.
+    pub fn with_speculation(mut self, deadline: Duration) -> Self {
+        self.speculation_after = Some(deadline);
+        self
+    }
+
+    /// Sets the retry backoff: exponential in `base` with deterministic
+    /// jitter derived from `seed`, the task id, and the failure count.
+    pub fn with_backoff(mut self, base: Duration, seed: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_seed = seed;
+        self
+    }
 }
+
+/// Why a job failed. Every variant is a *recoverable* error surfaced to
+/// the caller — the runner itself never panics on task failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// A task exhausted its attempts; `message` is the last failure
+    /// (panic payload or transient-error description).
+    TaskFailed {
+        /// The task that gave up.
+        task: TaskId,
+        /// Attempts launched for it (failed + speculative).
+        attempts: u32,
+        /// Description of the final failure.
+        message: String,
+    },
+    /// The user partitioner returned a partition `>= num_reducers`. This
+    /// is deterministic, so it is fatal immediately — no retry could
+    /// succeed.
+    PartitionerOutOfRange {
+        /// The map task whose record was misrouted.
+        task: TaskId,
+        /// The offending partition index.
+        partition: usize,
+        /// The configured reducer count.
+        reducers: usize,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::TaskFailed {
+                task,
+                attempts,
+                message,
+            } => write!(f, "{task} failed after {attempts} attempts: {message}"),
+            JobError::PartitionerOutOfRange {
+                task,
+                partition,
+                reducers,
+            } => write!(
+                f,
+                "{task}: partitioner returned {partition} for {reducers} reducers"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// Output records plus metrics of a finished job.
 #[derive(Debug)]
@@ -71,7 +189,11 @@ pub struct JobResult<O> {
     pub metrics: JobMetrics,
 }
 
-/// Runs a job with the default hash partitioner.
+/// Runs a job with the default hash partitioner, panicking on failure.
+///
+/// Thin wrapper over [`try_run_job`] for callers that treat job failure
+/// as fatal (the experiment harness); services should prefer the `try_`
+/// form and handle [`JobError`].
 pub fn run_job<I, K, V, O, M, R>(
     config: &JobConfig,
     inputs: Vec<I>,
@@ -79,14 +201,32 @@ pub fn run_job<I, K, V, O, M, R>(
     reducer: R,
 ) -> JobResult<O>
 where
-    I: Send,
-    K: Hash + Eq + Ord + Send + ShuffleBytes,
-    V: Send + ShuffleBytes,
+    I: Clone + Send + Sync,
+    K: Hash + Eq + Ord + Clone + Send + Sync + ShuffleBytes,
+    V: Clone + Send + Sync + ShuffleBytes,
     O: Send,
     M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
     R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
 {
-    run_job_partitioned(config, inputs, mapper, hash_partition, reducer)
+    try_run_job(config, inputs, mapper, reducer).unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs a job with the default hash partitioner.
+pub fn try_run_job<I, K, V, O, M, R>(
+    config: &JobConfig,
+    inputs: Vec<I>,
+    mapper: M,
+    reducer: R,
+) -> Result<JobResult<O>, JobError>
+where
+    I: Clone + Send + Sync,
+    K: Hash + Eq + Ord + Clone + Send + Sync + ShuffleBytes,
+    V: Clone + Send + Sync + ShuffleBytes,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    try_run_job_partitioned(config, inputs, mapper, hash_partition, reducer)
 }
 
 /// The default partitioner: deterministic hash of the key modulo the
@@ -97,8 +237,8 @@ pub fn hash_partition<K: Hash>(key: &K, reducers: usize) -> usize {
     (h.finish() % reducers as u64) as usize
 }
 
-/// Runs a job with a custom partitioner — the hook the Hamming-join uses
-/// for its pivot-based range partitioning (§5.1).
+/// Runs a job with a custom partitioner, panicking on failure — the hook
+/// the Hamming-join uses for its pivot-based range partitioning (§5.1).
 pub fn run_job_partitioned<I, K, V, O, M, P, R>(
     config: &JobConfig,
     inputs: Vec<I>,
@@ -107,9 +247,223 @@ pub fn run_job_partitioned<I, K, V, O, M, P, R>(
     reducer: R,
 ) -> JobResult<O>
 where
-    I: Send,
-    K: Hash + Eq + Ord + Send + ShuffleBytes,
-    V: Send + ShuffleBytes,
+    I: Clone + Send + Sync,
+    K: Hash + Eq + Ord + Clone + Send + Sync + ShuffleBytes,
+    V: Clone + Send + Sync + ShuffleBytes,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    P: Fn(&K, usize) -> usize + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    try_run_job_partitioned(config, inputs, mapper, partitioner, reducer)
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs a job with a custom partitioner.
+pub fn try_run_job_partitioned<I, K, V, O, M, P, R>(
+    config: &JobConfig,
+    inputs: Vec<I>,
+    mapper: M,
+    partitioner: P,
+    reducer: R,
+) -> Result<JobResult<O>, JobError>
+where
+    I: Clone + Send + Sync,
+    K: Hash + Eq + Ord + Clone + Send + Sync + ShuffleBytes,
+    V: Clone + Send + Sync + ShuffleBytes,
+    O: Send,
+    M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
+    P: Fn(&K, usize) -> usize + Sync,
+    R: Fn(&K, Vec<V>, &mut Vec<O>) + Sync,
+{
+    run_job_with_faults(
+        config,
+        inputs,
+        mapper,
+        partitioner,
+        reducer,
+        &FaultInjector::none(),
+    )
+}
+
+/// One attempt's verdict, as seen by the supervisor.
+enum AttemptError {
+    /// Worth retrying: a panic or a transient error.
+    Transient(String),
+    /// Deterministic, retry cannot help: fail the job now.
+    Fatal(JobError),
+}
+
+/// Per-task recovery counters accumulated by the supervisor.
+struct AttemptStats {
+    attempts: u32,
+    failures: u32,
+    speculative: u32,
+}
+
+/// Retry/speculation knobs, extracted from [`JobConfig`].
+struct RetryPolicy {
+    max_attempts: u32,
+    speculation_after: Option<Duration>,
+    backoff_base: Duration,
+    backoff_seed: u64,
+}
+
+impl RetryPolicy {
+    fn of(config: &JobConfig) -> Self {
+        RetryPolicy {
+            max_attempts: config.max_attempts.max(1),
+            speculation_after: config.speculation_after,
+            backoff_base: config.backoff_base,
+            backoff_seed: config.backoff_seed,
+        }
+    }
+
+    /// Deterministic backoff before retry number `failures`: exponential
+    /// in the base, plus jitter that is a pure function of (seed, task,
+    /// failure count) — reproducible, but decorrelated across tasks.
+    fn backoff(&self, task: TaskId, failures: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = (failures.saturating_sub(1)).min(6);
+        let base = self.backoff_base * 2u32.pow(exp);
+        let mut h = DefaultHasher::new();
+        (self.backoff_seed, task, failures).hash(&mut h);
+        let jitter = h.finish() % (self.backoff_base.as_nanos().max(1) as u64);
+        base + Duration::from_nanos(jitter)
+    }
+}
+
+/// Renders a panic payload into a failure message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked (non-string payload)".to_string()
+    }
+}
+
+/// Supervises one task: launches attempts on `scope`, retries transient
+/// failures with backoff, launches one speculative duplicate past the
+/// deadline, and returns the first successful payload with its recovery
+/// counters — or the typed error that ends the job.
+///
+/// Attempts report through a channel; each spawned attempt is wrapped in
+/// `catch_unwind`, so a panicking attempt becomes a `Transient` failure
+/// and the supervisor (and the job) keep running. Losing attempts (the
+/// straggler a speculative copy beat, or duplicates of an already-failed
+/// task) finish on their own and their results are discarded — safe
+/// because attempts are pure.
+fn supervise<'scope, T, F>(
+    scope: &'scope thread::Scope<'scope, '_>,
+    policy: &RetryPolicy,
+    task: TaskId,
+    attempt_fn: &'scope F,
+) -> Result<(T, AttemptStats), JobError>
+where
+    T: Send + 'scope,
+    F: Fn(u32) -> Result<T, AttemptError> + Sync,
+{
+    let (tx, rx) = mpsc::channel::<Result<T, AttemptError>>();
+    let launch = |attempt: u32| {
+        let tx = tx.clone();
+        scope.spawn(move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| attempt_fn(attempt)))
+                .unwrap_or_else(|payload| Err(AttemptError::Transient(panic_message(payload))));
+            // The supervisor may have returned already (we lost a
+            // speculative race); a closed channel is fine.
+            let _ = tx.send(outcome);
+        });
+    };
+
+    let mut stats = AttemptStats {
+        attempts: 1,
+        failures: 0,
+        speculative: 0,
+    };
+    launch(0);
+    loop {
+        let outcome = match policy.speculation_after {
+            // One speculative duplicate per task: if nothing has reported
+            // by the deadline, assume a straggler and double up.
+            Some(deadline) if stats.speculative == 0 => match rx.recv_timeout(deadline) {
+                Ok(outcome) => outcome,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    launch(stats.attempts);
+                    stats.attempts += 1;
+                    stats.speculative += 1;
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds a live sender")
+                }
+            },
+            _ => rx
+                .recv()
+                .expect("supervisor holds a live sender; attempts always report"),
+        };
+        match outcome {
+            Ok(payload) => return Ok((payload, stats)),
+            Err(AttemptError::Fatal(err)) => return Err(err),
+            Err(AttemptError::Transient(message)) => {
+                stats.failures += 1;
+                if stats.failures >= policy.max_attempts {
+                    return Err(JobError::TaskFailed {
+                        task,
+                        attempts: stats.attempts,
+                        message,
+                    });
+                }
+                thread::sleep(policy.backoff(task, stats.failures));
+                launch(stats.attempts);
+                stats.attempts += 1;
+            }
+        }
+    }
+}
+
+/// Applies any injected fault for `(task, attempt)`, then runs the
+/// attempt body. Injected panics unwind (the caller's `catch_unwind`
+/// turns them into transient failures, same as a user-code panic);
+/// injected delays stretch the attempt (to trip the speculation
+/// deadline); injected transient errors fail without unwinding.
+fn run_attempt<T>(
+    faults: &FaultInjector,
+    task: TaskId,
+    attempt: u32,
+    body: impl FnOnce() -> Result<T, AttemptError>,
+) -> Result<T, AttemptError> {
+    match faults.deliver(task, attempt) {
+        Some(Fault::TransientError) => {
+            return Err(AttemptError::Transient(format!(
+                "injected transient error on {task} attempt {attempt}"
+            )));
+        }
+        Some(Fault::Panic) => panic!("injected panic on {task} attempt {attempt}"),
+        Some(Fault::Delay(d)) => thread::sleep(d),
+        None => {}
+    }
+    body()
+}
+
+/// Runs a job with a custom partitioner and a fault injector — the full
+/// engine under all other entry points. With [`FaultInjector::none`]
+/// (what `try_run_job*` pass) the injector is a no-op lookup per attempt.
+pub fn run_job_with_faults<I, K, V, O, M, P, R>(
+    config: &JobConfig,
+    inputs: Vec<I>,
+    mapper: M,
+    partitioner: P,
+    reducer: R,
+    faults: &FaultInjector,
+) -> Result<JobResult<O>, JobError>
+where
+    I: Clone + Send + Sync,
+    K: Hash + Eq + Ord + Clone + Send + Sync + ShuffleBytes,
+    V: Clone + Send + Sync + ShuffleBytes,
     O: Send,
     M: Fn(I, &mut dyn FnMut(K, V)) + Sync,
     P: Fn(&K, usize) -> usize + Sync,
@@ -118,129 +472,179 @@ where
     let job_start = Instant::now();
     let reducers = config.num_reducers.max(1);
     let workers = config.num_workers.max(1);
+    let policy = RetryPolicy::of(config);
 
-    // ---- Map phase: one task per split, spilled into per-reducer buckets.
-    struct MapTaskOutput<K, V> {
+    // ---- Map phase: one supervised task per split, spilled into
+    // per-reducer buckets. Splits are owned outside the thread scope so
+    // retried and speculative attempts can re-read their input.
+    struct MapPayload<K, V> {
         buckets: Vec<Vec<(K, V)>>,
         metrics: TaskMetrics,
         bytes: usize,
     }
 
     let splits = make_splits(inputs, workers);
-    let map_outputs: Vec<MapTaskOutput<K, V>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = splits
-            .into_iter()
-            .map(|split| {
-                let mapper = &mapper;
-                let partitioner = &partitioner;
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let records_in = split.len();
-                    let mut buckets: Vec<Vec<(K, V)>> =
-                        (0..reducers).map(|_| Vec::new()).collect();
-                    let mut bytes = 0usize;
-                    let mut records_out = 0usize;
-                    for input in split {
-                        let mut emit = |k: K, v: V| {
-                            bytes += k.shuffle_bytes() + v.shuffle_bytes();
-                            records_out += 1;
-                            let p = partitioner(&k, reducers);
-                            assert!(p < reducers, "partitioner out of range");
-                            buckets[p].push((k, v));
-                        };
-                        mapper(input, &mut emit);
+    let map_attempt = |task_idx: usize, attempt: u32| -> Result<MapPayload<K, V>, AttemptError> {
+        let task = TaskId::map(task_idx);
+        let split = &splits[task_idx];
+        run_attempt(faults, task, attempt, || {
+            let start = Instant::now();
+            let mut buckets: Vec<Vec<(K, V)>> = (0..reducers).map(|_| Vec::new()).collect();
+            let mut bytes = 0usize;
+            let mut records_out = 0usize;
+            let mut out_of_range: Option<usize> = None;
+            for input in split {
+                let mut emit = |k: K, v: V| {
+                    let p = partitioner(&k, reducers);
+                    if p >= reducers {
+                        out_of_range.get_or_insert(p);
+                        return;
                     }
-                    MapTaskOutput {
-                        buckets,
-                        metrics: TaskMetrics {
-                            duration: start.elapsed(),
-                            records_in,
-                            records_out,
-                        },
-                        bytes,
-                    }
-                })
+                    bytes += k.shuffle_bytes() + v.shuffle_bytes();
+                    records_out += 1;
+                    buckets[p].push((k, v));
+                };
+                mapper(input.clone(), &mut emit);
+                if out_of_range.is_some() {
+                    break;
+                }
+            }
+            if let Some(partition) = out_of_range {
+                return Err(AttemptError::Fatal(JobError::PartitionerOutOfRange {
+                    task,
+                    partition,
+                    reducers,
+                }));
+            }
+            Ok(MapPayload {
+                buckets,
+                metrics: TaskMetrics {
+                    duration: start.elapsed(),
+                    records_in: split.len(),
+                    records_out,
+                    ..TaskMetrics::default()
+                },
+                bytes,
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map task panicked"))
-            .collect()
-    });
+        })
+    };
+    let map_tasks: Vec<_> = (0..splits.len())
+        .map(|i| move |attempt: u32| map_attempt(i, attempt))
+        .collect();
+
+    let map_outcomes: Vec<Result<(MapPayload<K, V>, AttemptStats), JobError>> =
+        thread::scope(|scope| {
+            let policy = &policy;
+            let supervisors: Vec<_> = map_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, attempt_fn)| {
+                    scope.spawn(move || supervise(scope, policy, TaskId::map(i), attempt_fn))
+                })
+                .collect();
+            supervisors
+                .into_iter()
+                .map(|h| h.join().expect("task supervisors never panic"))
+                .collect()
+        });
 
     let mut metrics = JobMetrics {
         job_name: config.name.clone(),
         ..JobMetrics::default()
     };
     let mut shuffle_bytes = 0usize;
-    let mut all_buckets: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_outputs.len());
-    for out in map_outputs {
-        shuffle_bytes += out.bytes;
-        metrics.map_tasks.push(out.metrics);
-        all_buckets.push(out.buckets);
+    let mut all_buckets: Vec<Vec<Vec<(K, V)>>> = Vec::with_capacity(map_outcomes.len());
+    // Errors surface in task order, so the reported failure is
+    // deterministic even when several tasks fail concurrently.
+    for outcome in map_outcomes {
+        let (payload, stats) = outcome?;
+        shuffle_bytes += payload.bytes;
+        let mut task_metrics = payload.metrics;
+        task_metrics.attempts = stats.attempts;
+        task_metrics.failures = stats.failures;
+        task_metrics.speculative = stats.speculative;
+        metrics.map_tasks.push(task_metrics);
+        all_buckets.push(payload.buckets);
     }
     metrics.shuffle_bytes = shuffle_bytes;
 
-    // ---- Reduce phase: each reducer merges its bucket from every map
-    // task, groups in sorted key order, and reduces.
-    // Hand each reducer its own column of buckets.
-    let mut reducer_inputs: Vec<Vec<Vec<(K, V)>>> =
-        (0..reducers).map(|_| Vec::new()).collect();
+    // ---- Reduce phase: each reducer merges its bucket column from every
+    // map task, groups in sorted key order, and reduces. The columns are
+    // owned outside the scope; attempts clone records while grouping so a
+    // retry (or a speculative twin) can always start from pristine input.
+    let mut reducer_inputs: Vec<Vec<Vec<(K, V)>>> = (0..reducers).map(|_| Vec::new()).collect();
     for task_buckets in all_buckets {
         for (r, bucket) in task_buckets.into_iter().enumerate() {
             reducer_inputs[r].push(bucket);
         }
     }
 
-    struct ReduceTaskOutput<O> {
+    struct ReducePayload<O> {
         outputs: Vec<O>,
         metrics: TaskMetrics,
     }
 
-    let reduce_outputs: Vec<ReduceTaskOutput<O>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = reducer_inputs
-            .into_iter()
-            .map(|buckets| {
-                let reducer = &reducer;
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
-                    let mut records_in = 0usize;
-                    for bucket in buckets {
-                        for (k, v) in bucket {
-                            records_in += 1;
-                            grouped.entry(k).or_default().push(v);
-                        }
-                    }
-                    let mut outputs = Vec::new();
-                    for (k, vs) in grouped {
-                        reducer(&k, vs, &mut outputs);
-                    }
-                    let records_out = outputs.len();
-                    ReduceTaskOutput {
-                        outputs,
-                        metrics: TaskMetrics {
-                            duration: start.elapsed(),
-                            records_in,
-                            records_out,
-                        },
-                    }
-                })
+    let reduce_attempt = |task_idx: usize, attempt: u32| -> Result<ReducePayload<O>, AttemptError> {
+        let task = TaskId::reduce(task_idx);
+        let buckets = &reducer_inputs[task_idx];
+        run_attempt(faults, task, attempt, || {
+            let start = Instant::now();
+            let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            let mut records_in = 0usize;
+            for bucket in buckets {
+                for (k, v) in bucket {
+                    records_in += 1;
+                    grouped.entry(k.clone()).or_default().push(v.clone());
+                }
+            }
+            let mut outputs = Vec::new();
+            for (k, vs) in grouped {
+                reducer(&k, vs, &mut outputs);
+            }
+            let records_out = outputs.len();
+            Ok(ReducePayload {
+                outputs,
+                metrics: TaskMetrics {
+                    duration: start.elapsed(),
+                    records_in,
+                    records_out,
+                    ..TaskMetrics::default()
+                },
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce task panicked"))
-            .collect()
-    });
+        })
+    };
+    let reduce_tasks: Vec<_> = (0..reducers)
+        .map(|i| move |attempt: u32| reduce_attempt(i, attempt))
+        .collect();
+
+    let reduce_outcomes: Vec<Result<(ReducePayload<O>, AttemptStats), JobError>> =
+        thread::scope(|scope| {
+            let policy = &policy;
+            let supervisors: Vec<_> = reduce_tasks
+                .iter()
+                .enumerate()
+                .map(|(i, attempt_fn)| {
+                    scope.spawn(move || supervise(scope, policy, TaskId::reduce(i), attempt_fn))
+                })
+                .collect();
+            supervisors
+                .into_iter()
+                .map(|h| h.join().expect("task supervisors never panic"))
+                .collect()
+        });
 
     let mut outputs = Vec::new();
-    for out in reduce_outputs {
-        metrics.reduce_tasks.push(out.metrics);
-        outputs.extend(out.outputs);
+    for outcome in reduce_outcomes {
+        let (payload, stats) = outcome?;
+        let mut task_metrics = payload.metrics;
+        task_metrics.attempts = stats.attempts;
+        task_metrics.failures = stats.failures;
+        task_metrics.speculative = stats.speculative;
+        metrics.reduce_tasks.push(task_metrics);
+        outputs.extend(payload.outputs);
     }
     metrics.elapsed = job_start.elapsed();
-    JobResult { outputs, metrics }
+    Ok(JobResult { outputs, metrics })
 }
 
 /// Splits `inputs` into at most `n` balanced chunks, preserving order.
@@ -263,6 +667,7 @@ fn make_splits<I>(inputs: Vec<I>, n: usize) -> Vec<Vec<I>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     fn cfg() -> JobConfig {
         JobConfig::named("test").with_workers(4).with_reducers(3)
@@ -405,5 +810,196 @@ mod tests {
         assert_eq!(s[2], vec![8, 9]);
         assert!(make_splits(Vec::<u8>::new(), 4).is_empty());
         assert_eq!(make_splits(vec![1], 4).len(), 1);
+    }
+
+    #[test]
+    fn partitioner_out_of_range_is_a_typed_error() {
+        let err = try_run_job_partitioned(
+            &JobConfig::named("oob").with_workers(1).with_reducers(2),
+            vec![1u64],
+            |x, emit| emit(x, x),
+            |_, n| n + 5, // out of range
+            |_, vs, out: &mut Vec<u64>| out.extend(vs),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            JobError::PartitionerOutOfRange {
+                task: TaskId::map(0),
+                partition: 7,
+                reducers: 2,
+            }
+        );
+        assert!(err.to_string().contains("partitioner returned 7"));
+    }
+
+    #[test]
+    fn out_of_range_partitioner_is_fatal_despite_retry_budget() {
+        // Deterministic failure: retries must NOT be burned on it.
+        let injector = FaultInjector::none();
+        let err = run_job_with_faults(
+            &JobConfig::named("oob").with_workers(1).with_reducers(2).with_max_attempts(5),
+            vec![1u64],
+            |x, emit| emit(x, x),
+            |_, n| n,
+            |_, vs, out: &mut Vec<u64>| out.extend(vs),
+            &injector,
+        )
+        .unwrap_err();
+        assert!(matches!(err, JobError::PartitionerOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mapper_panic_surfaces_as_task_failed() {
+        let err = try_run_job(
+            &JobConfig::named("boom")
+                .with_workers(2)
+                .with_reducers(2)
+                .with_max_attempts(1),
+            vec![1u64, 2, 3],
+            |x, emit| {
+                if x == 2 {
+                    panic!("injected mapper failure");
+                }
+                emit(x, x);
+            },
+            |_, vs, out: &mut Vec<u64>| out.extend(vs),
+        )
+        .unwrap_err();
+        match err {
+            JobError::TaskFailed {
+                task,
+                attempts,
+                message,
+            } => {
+                assert_eq!(task.phase, crate::fault::Phase::Map);
+                assert_eq!(attempts, 1);
+                assert!(message.contains("injected mapper failure"), "{message}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reducer_panic_surfaces_as_task_failed() {
+        let err = try_run_job(
+            &JobConfig::named("boom")
+                .with_workers(2)
+                .with_reducers(2)
+                .with_max_attempts(1),
+            vec![1u64, 2, 3],
+            |x, emit| emit(x, x),
+            |_, _, _: &mut Vec<u64>| panic!("injected reducer failure"),
+        )
+        .unwrap_err();
+        match err {
+            JobError::TaskFailed { task, message, .. } => {
+                assert_eq!(task.phase, crate::fault::Phase::Reduce);
+                assert!(message.contains("injected reducer failure"), "{message}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_run_job_panics_with_job_error_message() {
+        let result = std::panic::catch_unwind(|| {
+            run_job(
+                &JobConfig::named("legacy")
+                    .with_workers(1)
+                    .with_reducers(1)
+                    .with_max_attempts(1),
+                vec![1u64],
+                |_, _: &mut dyn FnMut(u64, u64)| panic!("die"),
+                |_, vs, out: &mut Vec<u64>| out.extend(vs),
+            )
+        });
+        let message = panic_message(result.unwrap_err());
+        assert!(message.starts_with("job failed:"), "{message}");
+    }
+
+    #[test]
+    fn panicking_task_recovers_with_one_retry() {
+        let injector = FaultInjector::new(FaultPlan::new().panic_on(TaskId::map(0), 0));
+        let result = run_job_with_faults(
+            &JobConfig::named("retry").with_workers(2).with_reducers(2),
+            (0..100u64).collect(),
+            |x, emit| emit(x % 7, x),
+            hash_partition,
+            |k, vs, out| out.push((*k, vs.iter().sum::<u64>())),
+            &injector,
+        )
+        .expect("job recovers");
+        let mut outputs = result.outputs;
+        outputs.sort_unstable();
+        let mut expected: Vec<(u64, u64)> = (0..7u64)
+            .map(|k| (k, (0..100u64).filter(|x| x % 7 == k).sum()))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(outputs, expected);
+        assert_eq!(result.metrics.map_tasks[0].attempts, 2);
+        assert_eq!(result.metrics.map_tasks[0].failures, 1);
+        assert_eq!(result.metrics.total_retries(), 1);
+        assert_eq!(injector.delivered().len(), 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_with_exact_counts() {
+        let plan = FaultPlan::new()
+            .panic_on(TaskId::map(0), 0)
+            .transient(TaskId::map(0), 1)
+            .panic_on(TaskId::map(0), 2);
+        let injector = FaultInjector::new(plan);
+        let err = run_job_with_faults(
+            &JobConfig::named("exhaust")
+                .with_workers(1)
+                .with_reducers(1)
+                .with_max_attempts(3),
+            vec![1u64, 2, 3],
+            |x, emit| emit(x, x),
+            hash_partition,
+            |_, vs, out: &mut Vec<u64>| out.extend(vs),
+            &injector,
+        )
+        .unwrap_err();
+        // Three failures (panic, transient, panic) exhaust max_attempts=3;
+        // the error carries the final failure's message.
+        assert_eq!(
+            err,
+            JobError::TaskFailed {
+                task: TaskId::map(0),
+                attempts: 3,
+                message: "injected panic on map[0] attempt 2".into(),
+            }
+        );
+        assert_eq!(injector.delivered().len(), 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            speculation_after: None,
+            backoff_base: Duration::from_millis(10),
+            backoff_seed: 7,
+        };
+        let t = TaskId::map(3);
+        let d1 = policy.backoff(t, 1);
+        let d2 = policy.backoff(t, 2);
+        let d3 = policy.backoff(t, 3);
+        assert_eq!(d1, policy.backoff(t, 1), "same inputs, same delay");
+        assert!(d2 >= Duration::from_millis(20) && d2 < Duration::from_millis(30));
+        assert!(d3 >= Duration::from_millis(40) && d3 < Duration::from_millis(50));
+        assert!(d1 < d2 && d2 < d3);
+        assert_ne!(
+            policy.backoff(TaskId::map(0), 1),
+            policy.backoff(TaskId::map(1), 1),
+            "jitter decorrelates tasks"
+        );
+        let zero = RetryPolicy {
+            backoff_base: Duration::ZERO,
+            ..policy
+        };
+        assert_eq!(zero.backoff(t, 3), Duration::ZERO);
     }
 }

@@ -18,6 +18,26 @@
 //! An in-memory [`dfs`] rounds out the Hadoop role: named files, block
 //! splits, and read/write between the chained jobs of the 3-phase join.
 //!
+//! ## Fault tolerance
+//!
+//! Hadoop's premise — and the paper's (§5: "the slowest mapper or reducer
+//! determines the job running time") — is that tasks fail and straggle.
+//! The runner therefore executes every task under a supervisor that
+//! isolates panics with `catch_unwind`, retries failed attempts up to
+//! [`JobConfig::max_attempts`] with deterministic seeded backoff, launches
+//! a speculative duplicate for attempts that outlive the
+//! [`JobConfig::with_speculation`] deadline (first success wins), and
+//! surfaces exhausted tasks as a typed [`JobError`] via the `try_run_*`
+//! entry points instead of panicking. Because mappers, partitioners, and
+//! reducers are required to be pure, every attempt of a task produces
+//! identical output and recovery is invisible in the results: outputs are
+//! byte-identical for any worker count and any fault schedule that leaves
+//! each task one successful attempt. The [`fault`] module provides the
+//! deterministic [`FaultPlan`]/[`FaultInjector`] machinery the chaos tests
+//! use to prove exactly that, and [`TaskMetrics`] reports what recovery
+//! cost (attempts, failures, speculative launches) next to the shuffle
+//! accounting.
+//!
 //! ```
 //! use ha_mapreduce::{run_job, JobConfig};
 //!
@@ -41,12 +61,17 @@
 
 pub mod cache;
 pub mod dfs;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 mod shuffle;
 
 pub use cache::DistributedCache;
 pub use dfs::InMemoryDfs;
-pub use job::{hash_partition, run_job, run_job_partitioned, JobConfig, JobResult};
+pub use fault::{Fault, FaultInjector, FaultPlan, Phase, TaskId};
+pub use job::{
+    hash_partition, run_job, run_job_partitioned, run_job_with_faults, try_run_job,
+    try_run_job_partitioned, JobConfig, JobError, JobResult,
+};
 pub use metrics::{JobMetrics, TaskMetrics};
 pub use shuffle::ShuffleBytes;

@@ -8,14 +8,27 @@
 use std::time::Duration;
 
 /// Timing and volume of one map or reduce task.
+///
+/// `duration`, `records_in`, and `records_out` describe the *winning*
+/// attempt; `attempts`, `failures`, and `speculative` describe what it
+/// cost to get there (the fault-tolerance counters of PR 1).
 #[derive(Clone, Debug, Default)]
 pub struct TaskMetrics {
-    /// Wall-clock time the task ran for.
+    /// Wall-clock time the successful attempt ran for.
     pub duration: Duration,
     /// Records consumed.
     pub records_in: usize,
     /// Records produced.
     pub records_out: usize,
+    /// Attempts launched for this task (≥ 1; failed and speculative
+    /// attempts included).
+    pub attempts: u32,
+    /// Attempts that failed (panicked or hit a transient error). In a
+    /// completed job every counted failure was retried, so this is also
+    /// the task's retry count.
+    pub failures: u32,
+    /// Speculative (deadline-triggered) duplicate launches.
+    pub speculative: u32,
 }
 
 /// Aggregated metrics of one MapReduce job.
@@ -57,6 +70,54 @@ impl JobMetrics {
     /// axis of Figure 7.
     pub fn total_traffic_bytes(&self) -> usize {
         self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Attempts launched across all tasks (≥ the task count; the excess
+    /// is recovery plus speculation cost).
+    pub fn total_attempts(&self) -> u32 {
+        self.all_tasks().map(|t| t.attempts).sum()
+    }
+
+    /// Failed map-task attempts.
+    pub fn map_failures(&self) -> u32 {
+        self.map_tasks.iter().map(|t| t.failures).sum()
+    }
+
+    /// Failed reduce-task attempts.
+    pub fn reduce_failures(&self) -> u32 {
+        self.reduce_tasks.iter().map(|t| t.failures).sum()
+    }
+
+    /// Failed attempts across both phases.
+    pub fn total_failures(&self) -> u32 {
+        self.map_failures() + self.reduce_failures()
+    }
+
+    /// Retries across both phases. In a job that completed, every failed
+    /// attempt was retried, so this equals [`JobMetrics::total_failures`].
+    pub fn total_retries(&self) -> u32 {
+        self.total_failures()
+    }
+
+    /// Speculative duplicate launches across both phases.
+    pub fn speculative_launches(&self) -> u32 {
+        self.all_tasks().map(|t| t.speculative).sum()
+    }
+
+    /// Recovery overhead factor: attempts per task (1.0 = no task ever
+    /// failed or straggled — the fault-tolerance analogue of
+    /// [`JobMetrics::reduce_skew`]). Returns 1.0 with no tasks.
+    pub fn attempt_overhead(&self) -> f64 {
+        let tasks = self.map_tasks.len() + self.reduce_tasks.len();
+        if tasks == 0 {
+            1.0
+        } else {
+            self.total_attempts() as f64 / tasks as f64
+        }
+    }
+
+    fn all_tasks(&self) -> impl Iterator<Item = &TaskMetrics> {
+        self.map_tasks.iter().chain(self.reduce_tasks.iter())
     }
 
     /// Folds another job's metrics into this one (multi-job pipelines
@@ -120,6 +181,54 @@ mod tests {
         assert_eq!(m.reduce_skew(), 1.0);
         assert_eq!(m.map_skew(), 1.0);
         assert_eq!(m.total_traffic_bytes(), 0);
+    }
+
+    #[test]
+    fn recovery_counters_aggregate_across_phases() {
+        let m = JobMetrics {
+            map_tasks: vec![
+                TaskMetrics {
+                    attempts: 2,
+                    failures: 1,
+                    ..TaskMetrics::default()
+                },
+                TaskMetrics {
+                    attempts: 1,
+                    ..TaskMetrics::default()
+                },
+            ],
+            reduce_tasks: vec![TaskMetrics {
+                attempts: 3,
+                failures: 1,
+                speculative: 1,
+                ..TaskMetrics::default()
+            }],
+            ..JobMetrics::default()
+        };
+        assert_eq!(m.total_attempts(), 6);
+        assert_eq!(m.map_failures(), 1);
+        assert_eq!(m.reduce_failures(), 1);
+        assert_eq!(m.total_failures(), 2);
+        assert_eq!(m.total_retries(), 2);
+        assert_eq!(m.speculative_launches(), 1);
+        assert!((m.attempt_overhead() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_job_has_unit_overhead() {
+        let clean = TaskMetrics {
+            attempts: 1,
+            ..TaskMetrics::default()
+        };
+        let m = JobMetrics {
+            map_tasks: vec![clean.clone(), clean.clone()],
+            reduce_tasks: vec![clean],
+            ..JobMetrics::default()
+        };
+        assert_eq!(m.total_failures(), 0);
+        assert_eq!(m.speculative_launches(), 0);
+        assert!((m.attempt_overhead() - 1.0).abs() < 1e-12);
+        assert!((JobMetrics::default().attempt_overhead() - 1.0).abs() < 1e-12);
     }
 
     #[test]

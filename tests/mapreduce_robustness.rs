@@ -1,11 +1,40 @@
 //! Robustness and semantics tests of the MapReduce runtime: determinism
 //! under scheduling, skew reporting, combiner-free grouping guarantees,
-//! and failure propagation.
+//! and — the heart of this suite — recovery under deterministic fault
+//! injection. The headline property: a job's outputs are byte-identical
+//! across worker counts and across any fault plan that leaves every task
+//! at least one successful attempt.
+
+use std::time::Duration;
 
 use hamming_suite::mapreduce::{
-    hash_partition, run_job, run_job_partitioned, DistributedCache, InMemoryDfs, JobConfig,
-    ShuffleBytes,
+    hash_partition, run_job, run_job_with_faults, try_run_job, try_run_job_partitioned,
+    DistributedCache, Fault, FaultInjector, FaultPlan, InMemoryDfs, JobConfig, JobError, Phase,
+    ShuffleBytes, TaskId,
 };
+
+/// The reference workload used by the fault-matrix tests: sum of inputs
+/// grouped by `x % 13`, over 2000 inputs.
+fn reference_config(workers: usize, reducers: usize) -> JobConfig {
+    JobConfig::named("fault-matrix")
+        .with_workers(workers)
+        .with_reducers(reducers)
+}
+
+fn run_reference(
+    config: &JobConfig,
+    injector: &FaultInjector,
+) -> Result<(Vec<(u64, u64)>, hamming_suite::mapreduce::JobMetrics), JobError> {
+    let result = run_job_with_faults(
+        config,
+        (0..2_000u64).collect(),
+        |x, emit| emit(x % 13, x),
+        hash_partition,
+        |k, vs, out| out.push((*k, vs.iter().sum::<u64>())),
+        injector,
+    )?;
+    Ok((result.outputs, result.metrics))
+}
 
 #[test]
 fn results_independent_of_worker_and_reducer_counts() {
@@ -43,11 +72,162 @@ fn hash_partition_is_deterministic_and_total() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault-injection matrix
+// ---------------------------------------------------------------------------
+
 #[test]
-#[should_panic(expected = "map task panicked")]
-fn mapper_panic_fails_the_job_loudly() {
-    let _ = run_job(
-        &JobConfig::named("boom").with_workers(2).with_reducers(2),
+fn every_task_failing_once_leaves_outputs_byte_identical() {
+    // 4 workers over 2000 inputs → 4 map tasks; 3 reducers → 3 reduce
+    // tasks. First attempt of EVERY task panics; the job must recover
+    // with outputs identical (not just equivalent) to the fault-free run.
+    let config = reference_config(4, 3);
+    let (clean, clean_metrics) = run_reference(&config, &FaultInjector::none()).expect("clean run");
+    assert_eq!(clean_metrics.total_failures(), 0);
+    assert_eq!(clean_metrics.total_attempts(), 7, "4 map + 3 reduce");
+
+    let injector = FaultInjector::new(FaultPlan::panic_first_attempt_everywhere(4, 3));
+    let (chaotic, metrics) = run_reference(&config, &injector).expect("job recovers everywhere");
+    assert_eq!(chaotic, clean, "recovery must be invisible in the output");
+
+    // Exact recovery accounting: every task burned exactly one failure.
+    assert_eq!(metrics.map_failures(), 4);
+    assert_eq!(metrics.reduce_failures(), 3);
+    assert_eq!(metrics.total_retries(), 7);
+    assert_eq!(metrics.total_attempts(), 14, "every task ran twice");
+    assert_eq!(metrics.speculative_launches(), 0);
+    for t in metrics.map_tasks.iter().chain(metrics.reduce_tasks.iter()) {
+        assert_eq!((t.attempts, t.failures), (2, 1));
+    }
+    assert!((metrics.attempt_overhead() - 2.0).abs() < 1e-12);
+    assert_eq!(injector.delivered().len(), 7, "every planned fault fired");
+
+    // Shuffle accounting comes from winning attempts only — identical to
+    // the fault-free run, not double-counted.
+    assert_eq!(metrics.shuffle_bytes, clean_metrics.shuffle_bytes);
+}
+
+#[test]
+fn mixed_panics_and_transients_recover_identically() {
+    let config = reference_config(4, 3).with_max_attempts(3);
+    let (clean, _) = run_reference(&config, &FaultInjector::none()).expect("clean run");
+    let plan = FaultPlan::new()
+        .panic_on(TaskId::map(0), 0)
+        .transient(TaskId::map(0), 1) // map 0 fails twice, succeeds third
+        .transient(TaskId::map(2), 0)
+        .panic_on(TaskId::reduce(1), 0)
+        .transient(TaskId::reduce(2), 1); // attempt 1 never runs: no failure at attempt 0
+    let injector = FaultInjector::new(plan);
+    let (chaotic, metrics) = run_reference(&config, &injector).expect("job recovers");
+    assert_eq!(chaotic, clean);
+    assert_eq!(metrics.map_tasks[0].failures, 2);
+    assert_eq!(metrics.map_tasks[0].attempts, 3);
+    assert_eq!(metrics.map_tasks[2].failures, 1);
+    assert_eq!(metrics.reduce_tasks[1].failures, 1);
+    assert_eq!(
+        metrics.reduce_tasks[2].failures, 0,
+        "a fault scheduled on an attempt that never runs never fires"
+    );
+    assert_eq!(metrics.total_failures(), 4);
+    assert_eq!(injector.delivered().len(), 4);
+}
+
+#[test]
+fn exhausting_max_attempts_is_a_typed_error_not_a_panic() {
+    let config = reference_config(2, 2).with_max_attempts(2);
+    let plan = FaultPlan::new()
+        .panic_on(TaskId::reduce(0), 0)
+        .panic_on(TaskId::reduce(0), 1);
+    let err = run_reference(&config, &FaultInjector::new(plan)).unwrap_err();
+    match err {
+        JobError::TaskFailed {
+            task,
+            attempts,
+            ref message,
+        } => {
+            assert_eq!(task, TaskId::reduce(0));
+            assert_eq!(attempts, 2);
+            assert!(message.contains("injected panic"), "{message}");
+        }
+        ref other => panic!("expected TaskFailed, got {other:?}"),
+    }
+    assert!(err.to_string().contains("reduce[0] failed after 2 attempts"));
+}
+
+#[test]
+fn straggler_speculation_keeps_outputs_byte_identical() {
+    let config = reference_config(4, 3);
+    let (clean, _) = run_reference(&config, &FaultInjector::none()).expect("clean run");
+
+    // Map task 1's first attempt stalls for 400ms; with a 40ms
+    // speculation deadline a duplicate launches and wins. The straggler
+    // eventually finishes and its (identical) result is discarded.
+    let config = config.with_speculation(Duration::from_millis(40));
+    let plan = FaultPlan::new().delay(TaskId::map(1), 0, Duration::from_millis(400));
+    let injector = FaultInjector::new(plan);
+    let (speculated, metrics) = run_reference(&config, &injector).expect("speculation recovers");
+    assert_eq!(speculated, clean, "first-success-wins must be invisible");
+
+    assert_eq!(metrics.speculative_launches(), 1);
+    assert_eq!(metrics.map_tasks[1].speculative, 1);
+    assert_eq!(metrics.map_tasks[1].attempts, 2);
+    assert_eq!(
+        metrics.map_tasks[1].failures, 0,
+        "a straggler is not a failure"
+    );
+    assert_eq!(metrics.total_failures(), 0);
+}
+
+#[test]
+fn speculation_combined_with_retries_still_converges() {
+    // Attempt 0 stalls; the speculative attempt 1 panics; the retry
+    // (attempt 2) succeeds. Output still identical to fault-free.
+    let config = reference_config(2, 2)
+        .with_speculation(Duration::from_millis(40))
+        .with_max_attempts(3);
+    let (clean, _) = run_reference(
+        &reference_config(2, 2),
+        &FaultInjector::none(),
+    )
+    .expect("clean run");
+    let plan = FaultPlan::new()
+        .delay(TaskId::map(0), 0, Duration::from_millis(400))
+        .panic_on(TaskId::map(0), 1);
+    let (got, metrics) = run_reference(&config, &FaultInjector::new(plan)).expect("converges");
+    assert_eq!(got, clean);
+    let t = &metrics.map_tasks[0];
+    assert_eq!(t.speculative, 1);
+    assert_eq!(t.failures, 1);
+    assert!(t.attempts >= 3, "stall + speculative + retry, got {}", t.attempts);
+}
+
+#[test]
+fn retry_backoff_is_applied_between_attempts() {
+    // Two forced failures with a 30ms backoff base: the job must take at
+    // least base * (1 + 2) = 90ms longer than instant retry would.
+    let config = reference_config(1, 1)
+        .with_max_attempts(3)
+        .with_backoff(Duration::from_millis(30), 99);
+    let plan = FaultPlan::new()
+        .panic_on(TaskId::map(0), 0)
+        .panic_on(TaskId::map(0), 1);
+    let start = std::time::Instant::now();
+    let (_, metrics) = run_reference(&config, &FaultInjector::new(plan)).expect("recovers");
+    assert!(
+        start.elapsed() >= Duration::from_millis(90),
+        "backoff was skipped: {:?}",
+        start.elapsed()
+    );
+    assert_eq!(metrics.map_tasks[0].failures, 2);
+}
+
+#[test]
+fn mapper_panic_is_a_typed_error_when_retries_are_exhausted() {
+    let err = try_run_job(
+        &JobConfig::named("boom")
+            .with_workers(2)
+            .with_reducers(2)
+            .with_max_attempts(1),
         vec![1u64, 2, 3],
         |x, emit| {
             if x == 2 {
@@ -56,31 +236,101 @@ fn mapper_panic_fails_the_job_loudly() {
             emit(x, x);
         },
         |_, vs, out: &mut Vec<u64>| out.extend(vs),
-    );
+    )
+    .unwrap_err();
+    match err {
+        JobError::TaskFailed { task, message, .. } => {
+            assert_eq!(task.phase, Phase::Map);
+            assert!(message.contains("injected mapper failure"), "{message}");
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
 }
 
 #[test]
-#[should_panic(expected = "reduce task panicked")]
-fn reducer_panic_fails_the_job_loudly() {
-    let _ = run_job(
-        &JobConfig::named("boom").with_workers(2).with_reducers(2),
+fn reducer_panic_is_a_typed_error_when_retries_are_exhausted() {
+    let err = try_run_job(
+        &JobConfig::named("boom")
+            .with_workers(2)
+            .with_reducers(2)
+            .with_max_attempts(1),
         vec![1u64, 2, 3],
         |x, emit| emit(x, x),
         |_, _, _: &mut Vec<u64>| panic!("injected reducer failure"),
+    )
+    .unwrap_err();
+    match err {
+        JobError::TaskFailed { task, message, .. } => {
+            assert_eq!(task.phase, Phase::Reduce);
+            assert!(message.contains("injected reducer failure"), "{message}");
+        }
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn deterministic_user_panics_survive_one_retry_of_nondeterministic_ones() {
+    // A mapper that fails only on its first call per process would be
+    // nondeterministic; our purity contract bans it. But a *fault plan*
+    // models exactly that operational reality — verify a panic-prone
+    // mapper under injection still exhausts attempts deterministically.
+    let plan = FaultPlan::new()
+        .panic_on(TaskId::map(0), 0)
+        .panic_on(TaskId::map(0), 1)
+        .panic_on(TaskId::map(0), 2);
+    let err = run_reference(
+        &reference_config(1, 1).with_max_attempts(3),
+        &FaultInjector::new(plan),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        JobError::TaskFailed {
+            task: TaskId::map(0),
+            attempts: 3,
+            message: "injected panic on map[0] attempt 2".into(),
+        }
     );
 }
 
 #[test]
-#[should_panic(expected = "map task panicked")] // the assert fires inside the map task
-fn out_of_range_partitioner_is_rejected() {
-    let _ = run_job_partitioned(
+fn out_of_range_partitioner_is_rejected_with_typed_error() {
+    let err = try_run_job_partitioned(
         &JobConfig::named("oob").with_workers(1).with_reducers(2),
         vec![1u64],
         |x, emit| emit(x, x),
         |_, n| n + 5, // out of range
         |_, vs, out: &mut Vec<u64>| out.extend(vs),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        JobError::PartitionerOutOfRange {
+            task: TaskId::map(0),
+            partition: 7,
+            reducers: 2,
+        }
     );
 }
+
+#[test]
+fn delivered_faults_are_observable_per_attempt() {
+    let plan = FaultPlan::new()
+        .transient(TaskId::map(0), 0)
+        .delay(TaskId::map(0), 1, Duration::from_millis(1));
+    let injector = FaultInjector::new(plan);
+    run_reference(&reference_config(1, 1), &injector).expect("recovers");
+    let log = injector.delivered();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].attempt, 0);
+    assert_eq!(log[0].fault, Fault::TransientError);
+    assert_eq!(log[1].attempt, 1);
+    assert_eq!(log[1].fault, Fault::Delay(Duration::from_millis(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Pre-existing semantics tests
+// ---------------------------------------------------------------------------
 
 #[test]
 fn map_only_style_job_with_unit_values() {
@@ -117,6 +367,10 @@ fn metrics_reflect_real_volumes() {
     let map_out: usize = m.map_tasks.iter().map(|t| t.records_out).sum();
     assert_eq!(map_out, 2 * n);
     assert!(m.elapsed.as_nanos() > 0);
+    // A fault-free job reports clean recovery counters.
+    assert_eq!(m.total_failures(), 0);
+    assert_eq!(m.speculative_launches(), 0);
+    assert!((m.attempt_overhead() - 1.0).abs() < 1e-12);
 }
 
 #[test]
@@ -167,4 +421,35 @@ fn stress_many_keys_single_worker_vs_many() {
     let multi = run(8);
     assert_eq!(single, multi);
     assert!(single.iter().all(|&(_, c)| c == 10));
+}
+
+#[test]
+fn stress_chaos_under_volume() {
+    // The 50k-record stress workload with every task's first attempt
+    // panicking: grouping correctness must survive recovery at volume.
+    let inputs: Vec<u64> = (0..50_000).collect();
+    let config = JobConfig::named("stress-chaos")
+        .with_workers(8)
+        .with_reducers(8);
+    let clean = run_job_with_faults(
+        &config,
+        inputs.clone(),
+        |x, emit| emit(x % 5_000, 1u64),
+        hash_partition,
+        |k, vs, out| out.push((*k, vs.len())),
+        &FaultInjector::none(),
+    )
+    .expect("clean");
+    let injector = FaultInjector::new(FaultPlan::panic_first_attempt_everywhere(8, 8));
+    let chaotic = run_job_with_faults(
+        &config,
+        inputs,
+        |x, emit| emit(x % 5_000, 1u64),
+        hash_partition,
+        |k, vs, out| out.push((*k, vs.len())),
+        &injector,
+    )
+    .expect("recovers");
+    assert_eq!(chaotic.outputs, clean.outputs);
+    assert_eq!(chaotic.metrics.total_failures(), 16);
 }

@@ -1,0 +1,73 @@
+//! Offline stand-in for `parking_lot`: wraps `std::sync` primitives with
+//! parking_lot's non-poisoning guard-returning API. A thread panicking
+//! while holding a lock does not poison it for everyone else — the next
+//! acquirer simply recovers the guard, which matches parking_lot
+//! semantics and is what the fault-tolerant MapReduce runtime relies on
+//! when task attempts are allowed to panic.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Mutual exclusion lock; `lock()` never returns a poisoned error.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Readers-writer lock; `read()`/`write()` never return poisoned errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_are_not_poisoned_by_panicking_holders() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let r = std::sync::Arc::new(RwLock::new(1));
+        let (m2, r2) = (m.clone(), r.clone());
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            let _h = r2.write();
+            panic!("die holding both locks");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+        *r.write() += 1;
+        assert_eq!(*r.read(), 2);
+    }
+}
