@@ -17,10 +17,15 @@
 //!   if leaf: full code bytes, id_count:u32, ids:u64 each
 //! root_count:u32, root ids:u32 each
 //! buffered_count:u32, then (code bytes, id:u64) each
+//! checksum:u64 — FNV-1a over every preceding byte (version 2)
 //! ```
 //!
 //! All integers little-endian. Flag bit 0 = leaf id lists present
 //! (Option A); the leafless Option B index simply has empty id lists.
+//! The trailing checksum footer (added in version 2) is verified before
+//! any structural parsing: a blob corrupted on the broadcast or the DFS
+//! hop is rejected with [`DecodeError::ChecksumMismatch`] before
+//! H-Search can trust it.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -31,7 +36,9 @@ use super::node::{LeafData, Node, NodeId};
 use super::{DhaConfig, DynamicHaIndex};
 
 const MAGIC: &[u8; 4] = b"HAIX";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Bytes of the FNV-1a footer appended in version 2.
+const FOOTER_LEN: usize = 8;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +49,9 @@ pub enum DecodeError {
     BadVersion(u8),
     /// Input ended prematurely or a length field is inconsistent.
     Truncated,
+    /// The FNV-1a footer does not match the blob body — the index was
+    /// corrupted in transit or at rest.
+    ChecksumMismatch,
     /// A node/root reference points outside the node table.
     DanglingReference(u32),
     /// Structural validation failed after decoding.
@@ -54,6 +64,9 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not an HA-Index blob (bad magic)"),
             DecodeError::BadVersion(v) => write!(f, "unsupported HA-Index version {v}"),
             DecodeError::Truncated => write!(f, "truncated HA-Index blob"),
+            DecodeError::ChecksumMismatch => {
+                write!(f, "HA-Index blob failed checksum verification")
+            }
             DecodeError::DanglingReference(id) => {
                 write!(f, "dangling node reference {id}")
             }
@@ -63,6 +76,18 @@ impl fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64-bit over raw bytes — the blob's integrity footer. Kept
+/// in-house (and deliberately tiny) so ha-core stays dependency-free;
+/// the DFS block checksums in ha-mapreduce use the same function.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 struct Writer {
     buf: Vec<u8>,
@@ -168,6 +193,12 @@ impl DynamicHaIndex {
             w.code(code);
             w.u64(*id);
         }
+        // Version 2 integrity footer: FNV-1a over everything above. The
+        // blob crosses the distributed cache and the DFS hop of Figure 5;
+        // the footer lets a corrupted copy be rejected *before* H-Search
+        // trusts its pruning structure.
+        let digest = fnv64(&w.buf);
+        w.u64(digest);
         w.buf
     }
 
@@ -183,6 +214,21 @@ impl DynamicHaIndex {
         if version != VERSION {
             return Err(DecodeError::BadVersion(version));
         }
+        // Verify the integrity footer (checked right after the header so
+        // corruption is reported as such, not as some downstream
+        // structural error), then parse only the body before it.
+        if bytes.len() < r.pos + FOOTER_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+        let declared = u64::from_le_bytes(footer.try_into().expect("footer is 8 bytes"));
+        if fnv64(body) != declared {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        let mut r = Reader {
+            buf: body,
+            pos: r.pos,
+        };
         let keep_leaf_ids = r.u8()? != 0;
         let code_len = r.u16()? as usize;
         if code_len == 0 {
@@ -251,7 +297,7 @@ impl DynamicHaIndex {
             let id = r.u64()?;
             buffer.push((code, id));
         }
-        if r.pos != bytes.len() {
+        if r.pos != body.len() {
             return Err(DecodeError::Corrupt("trailing bytes"));
         }
 
@@ -400,6 +446,35 @@ mod tests {
         // Trailing garbage.
         blob.push(0);
         assert!(DynamicHaIndex::from_bytes(&blob, DhaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn checksum_footer_detects_body_corruption() {
+        let idx = DynamicHaIndex::build(random_dataset(40, 16, 211));
+        let blob = idx.to_bytes();
+        // Any single-byte flip in the body (past the header, before the
+        // footer) must be caught by the footer, reported as corruption.
+        for pos in [5usize, 7, blob.len() / 3, blob.len() - FOOTER_LEN - 1] {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    DynamicHaIndex::from_bytes(&bad, DhaConfig::default()),
+                    Err(DecodeError::ChecksumMismatch)
+                ),
+                "flip at {pos}"
+            );
+        }
+        // A flipped footer byte is equally fatal.
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            DynamicHaIndex::from_bytes(&bad, DhaConfig::default()),
+            Err(DecodeError::ChecksumMismatch)
+        ));
+        // The pristine blob still decodes.
+        assert!(DynamicHaIndex::from_bytes(&blob, DhaConfig::default()).is_ok());
     }
 
     #[test]

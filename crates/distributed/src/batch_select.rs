@@ -13,7 +13,7 @@
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::{HammingIndex, TupleId};
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics};
+use ha_mapreduce::{run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics};
 
 use crate::pipeline::{MrHaConfig, PhaseTimes};
 use crate::preprocess::preprocess;
@@ -30,12 +30,25 @@ pub struct BatchSelectOutcome {
     pub times: PhaseTimes,
 }
 
-/// Runs Hamming-select for a batch of query vectors against dataset `s`.
+/// Runs Hamming-select for a batch of query vectors against dataset `s`,
+/// panicking on job failure (wrapper over [`try_mrha_batch_select`]).
 pub fn mrha_batch_select(
     s: &[VecTuple],
     queries: &[Vec<f64>],
     cfg: &MrHaConfig,
 ) -> BatchSelectOutcome {
+    try_mrha_batch_select(s, queries, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// [`mrha_batch_select`] under a fault injector, surfacing unrecoverable
+/// task or storage failures as a typed [`JobError`].
+pub fn try_mrha_batch_select(
+    s: &[VecTuple],
+    queries: &[Vec<f64>],
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<BatchSelectOutcome, JobError> {
     assert!(!queries.is_empty(), "empty query batch");
     // Phase 1 (sample only S; queries follow the same hash).
     let pre = preprocess(s, &[], cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed);
@@ -62,7 +75,7 @@ pub fn mrha_batch_select(
     let dha = cfg.dha.clone();
     let h = cfg.h;
     let config = crate::job_config("mrha-batch-select", cfg.workers, cfg.partitions);
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         s.to_vec(),
         |(v, sid): VecTuple, emit| {
@@ -79,7 +92,8 @@ pub fn mrha_batch_select(
                 }
             }
         },
-    );
+        faults,
+    )?;
     times.join = t.elapsed();
 
     let mut metrics = result.metrics;
@@ -94,11 +108,11 @@ pub fn mrha_batch_select(
     for h in &mut hits {
         h.sort_unstable();
     }
-    BatchSelectOutcome {
+    Ok(BatchSelectOutcome {
         hits,
         metrics,
         times,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! locals into the global index.
 
 use ha_core::dynamic::{DhaConfig, DynamicHaIndex};
-use ha_mapreduce::{run_job_partitioned, JobMetrics};
+use ha_mapreduce::{run_job_with_faults, FaultInjector, JobError, JobMetrics};
 
 use crate::preprocess::Preprocessed;
 use crate::VecTuple;
@@ -18,7 +18,9 @@ pub struct GlobalIndexBuild {
     pub metrics: JobMetrics,
 }
 
-/// Runs the Phase-2 job over dataset R.
+/// Runs the Phase-2 job over dataset R, panicking on job failure —
+/// a thin wrapper over [`try_build_global_index`] for callers that treat
+/// failure as fatal (the experiment harness).
 pub fn build_global_index(
     r: Vec<VecTuple>,
     pre: &Preprocessed,
@@ -26,12 +28,26 @@ pub fn build_global_index(
     workers: usize,
     partitions: usize,
 ) -> GlobalIndexBuild {
+    try_build_global_index(r, pre, dha, workers, partitions, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs the Phase-2 job over dataset R under a fault injector, surfacing
+/// unrecoverable task or storage failures as a typed [`JobError`].
+pub fn try_build_global_index(
+    r: Vec<VecTuple>,
+    pre: &Preprocessed,
+    dha: &DhaConfig,
+    workers: usize,
+    partitions: usize,
+    faults: &FaultInjector,
+) -> Result<GlobalIndexBuild, JobError> {
     let hasher = pre.hasher.clone();
     let partitioner = &pre.partitioner;
     let dha = dha.clone();
     let config = crate::job_config("mrha-index-build", workers, partitions);
 
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         r,
         // Map: hash the tuple, look up its pivot range, emit
@@ -48,7 +64,8 @@ pub fn build_global_index(
         |_part, tuples, out: &mut Vec<DynamicHaIndex>| {
             out.push(DynamicHaIndex::build_with(tuples, dha.clone()));
         },
-    );
+        faults,
+    )?;
 
     let mut metrics = result.metrics;
     // The distributed cache ships the hash function and the pivots to
@@ -62,7 +79,7 @@ pub fn build_global_index(
     } else {
         DynamicHaIndex::merge_all(locals)
     };
-    GlobalIndexBuild { index, metrics }
+    Ok(GlobalIndexBuild { index, metrics })
 }
 
 impl Preprocessed {

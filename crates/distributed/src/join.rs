@@ -13,7 +13,9 @@
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::{HammingIndex, TupleId};
-use ha_mapreduce::{run_job, run_job_partitioned, DistributedCache, JobMetrics, ShuffleBytes};
+use ha_mapreduce::{
+    run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics, ShuffleBytes,
+};
 
 use crate::preprocess::Preprocessed;
 use crate::VecTuple;
@@ -50,7 +52,8 @@ pub fn index_broadcast_bytes(index: &DynamicHaIndex, with_leaves: bool) -> usize
     }
 }
 
-/// Runs Option A: probe the leafy index, emit pairs.
+/// Runs Option A, panicking on job failure (wrapper over
+/// [`try_join_option_a`]).
 pub fn join_option_a(
     index: &DynamicHaIndex,
     s: Vec<VecTuple>,
@@ -59,6 +62,21 @@ pub fn join_option_a(
     workers: usize,
     partitions: usize,
 ) -> JoinPhase {
+    try_join_option_a(index, s, pre, h, workers, partitions, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs Option A under a fault injector: probe the leafy index, emit
+/// pairs.
+pub fn try_join_option_a(
+    index: &DynamicHaIndex,
+    s: Vec<VecTuple>,
+    pre: &Preprocessed,
+    h: u32,
+    workers: usize,
+    partitions: usize,
+    faults: &FaultInjector,
+) -> Result<JoinPhase, JobError> {
     let cache = DistributedCache::broadcast_sized(
         index.clone(),
         partitions,
@@ -69,7 +87,7 @@ pub fn join_option_a(
     let config = crate::job_config("mrha-join-A", workers, partitions);
 
     let shared = cache.get();
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         s,
         |(v, sid): VecTuple, emit| {
@@ -85,17 +103,18 @@ pub fn join_option_a(
                 }
             }
         },
-    );
+        faults,
+    )?;
     let mut metrics = result.metrics;
     metrics.broadcast_bytes += cache.traffic_bytes()
         + (pre.hasher.approx_bytes() + pre.partitioner.shuffle_bytes()) * workers;
     let mut pairs = result.outputs;
     pairs.sort_unstable();
-    JoinPhase { pairs, metrics }
+    Ok(JoinPhase { pairs, metrics })
 }
 
-/// Runs Option B: probe the leafless index for qualifying R *codes*, then
-/// resolve ids with a MapReduce hash-join against R.
+/// Runs Option B, panicking on job failure (wrapper over
+/// [`try_join_option_b`]).
 pub fn join_option_b(
     index: &DynamicHaIndex,
     r: &[VecTuple],
@@ -105,6 +124,25 @@ pub fn join_option_b(
     workers: usize,
     partitions: usize,
 ) -> JoinPhase {
+    try_join_option_b(index, r, s, pre, h, workers, partitions, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs Option B under a fault injector: probe the leafless index for
+/// qualifying R *codes*, then resolve ids with a MapReduce hash-join
+/// against R. Both jobs consult the same injector (task ids are per-job,
+/// so a plan's faults fire in each job they name).
+#[allow(clippy::too_many_arguments)]
+pub fn try_join_option_b(
+    index: &DynamicHaIndex,
+    r: &[VecTuple],
+    s: Vec<VecTuple>,
+    pre: &Preprocessed,
+    h: u32,
+    workers: usize,
+    partitions: usize,
+    faults: &FaultInjector,
+) -> Result<JoinPhase, JobError> {
     let cache = DistributedCache::broadcast_sized(
         index.clone(),
         partitions,
@@ -116,7 +154,7 @@ pub fn join_option_b(
 
     // Job 1: probe — emits (qualifying R code, s id).
     let shared = cache.get();
-    let probe = run_job_partitioned(
+    let probe = run_job_with_faults(
         &config,
         s,
         |(v, sid): VecTuple, emit| {
@@ -132,7 +170,8 @@ pub fn join_option_b(
                 }
             }
         },
-    );
+        faults,
+    )?;
 
     // Job 2: hash-join the qualifying codes with R to recover r-ids
     // ("MapReduce hash-join [23] for Dataset R and the qualifying
@@ -156,7 +195,7 @@ pub fn join_option_b(
         .map(|t| (Some(t), None))
         .chain(probe.outputs.iter().cloned().map(|m| (None, Some(m))))
         .collect();
-    let post = run_job(
+    let post = run_job_with_faults(
         &crate::job_config("mrha-join-B-post", workers, partitions),
         join_inputs,
         move |input, emit| match input {
@@ -167,6 +206,7 @@ pub fn join_option_b(
             (None, Some((code, sid))) => emit(code, Side::SMatch(sid)),
             _ => unreachable!("exactly one side set"),
         },
+        ha_mapreduce::hash_partition,
         |_code, sides: Vec<Side>, out: &mut Vec<(TupleId, TupleId)>| {
             let mut rids = Vec::new();
             let mut sids = Vec::new();
@@ -182,7 +222,8 @@ pub fn join_option_b(
                 }
             }
         },
-    );
+        faults,
+    )?;
 
     let mut metrics = probe.metrics;
     metrics.absorb(&post.metrics);
@@ -190,7 +231,7 @@ pub fn join_option_b(
         + (pre.hasher.approx_bytes() + pre.partitioner.shuffle_bytes()) * workers;
     let mut pairs = post.outputs;
     pairs.sort_unstable();
-    JoinPhase { pairs, metrics }
+    Ok(JoinPhase { pairs, metrics })
 }
 
 #[cfg(test)]

@@ -11,9 +11,9 @@
 
 use ha_core::dynamic::DynamicHaIndex;
 use ha_core::TupleId;
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics};
+use ha_mapreduce::{run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics};
 
-use crate::global_index::build_global_index;
+use crate::global_index::try_build_global_index;
 use crate::join::index_broadcast_bytes;
 use crate::pipeline::{MrHaConfig, PhaseTimes};
 use crate::preprocess::preprocess;
@@ -50,13 +50,27 @@ fn knn_via_index(
     }
 }
 
-/// Runs the distributed kNN-join R ⋉ S (k nearest S tuples per R tuple).
+/// Runs the distributed kNN-join R ⋉ S (k nearest S tuples per R tuple),
+/// panicking on job failure (wrapper over [`try_mrha_knn_join`]).
 pub fn mrha_knn_join(
     r: &[VecTuple],
     s: &[VecTuple],
     k: usize,
     cfg: &MrHaConfig,
 ) -> KnnJoinOutcome {
+    try_mrha_knn_join(r, s, k, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// [`mrha_knn_join`] under a fault injector, surfacing unrecoverable task
+/// or storage failures as a typed [`JobError`].
+pub fn try_mrha_knn_join(
+    r: &[VecTuple],
+    s: &[VecTuple],
+    k: usize,
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<KnnJoinOutcome, JobError> {
     assert!(k >= 1, "k must be >= 1");
     // Phase 1.
     let pre = preprocess(r, s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed);
@@ -72,7 +86,7 @@ pub fn mrha_knn_join(
         keep_leaf_ids: true,
         ..cfg.dha.clone()
     };
-    let built = build_global_index(s.to_vec(), &pre, &dha, cfg.workers, cfg.partitions);
+    let built = try_build_global_index(s.to_vec(), &pre, &dha, cfg.workers, cfg.partitions, faults)?;
     times.index_build = t.elapsed();
     let mut metrics = built.metrics;
 
@@ -88,7 +102,7 @@ pub fn mrha_knn_join(
     let partitioner = &pre.partitioner;
     let shared = cache.get();
     let config = crate::job_config("mrha-knn-join", cfg.workers, cfg.partitions);
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         r.to_vec(),
         |(v, rid): VecTuple, emit| {
@@ -102,7 +116,8 @@ pub fn mrha_knn_join(
                 out.push((rid, knn_via_index(&shared, &code, k)));
             }
         },
-    );
+        faults,
+    )?;
     times.join = t.elapsed();
     metrics.absorb(&result.metrics);
     metrics.broadcast_bytes += index_bytes * cfg.partitions
@@ -111,11 +126,11 @@ pub fn mrha_knn_join(
 
     let mut neighbours = result.outputs;
     neighbours.sort_by_key(|(rid, _)| *rid);
-    KnnJoinOutcome {
+    Ok(KnnJoinOutcome {
         neighbours,
         metrics,
         times,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -33,11 +33,16 @@ pub mod pivot;
 pub mod pmh;
 pub mod preprocess;
 
-pub use batch_select::{mrha_batch_select, BatchSelectOutcome};
+pub use batch_select::{mrha_batch_select, try_mrha_batch_select, BatchSelectOutcome};
 pub use join::JoinOption;
-pub use knn_join::{mrha_knn_join, KnnJoinOutcome};
-pub use pipeline::{mrha_hamming_join, JoinOutcome, MrHaConfig, PhaseTimes};
+pub use knn_join::{mrha_knn_join, try_mrha_knn_join, KnnJoinOutcome};
+pub use pgbj::{pgbj_self_knn_join, try_pgbj_self_knn_join, PgbjConfig, PgbjOutcome};
+pub use pipeline::{
+    mrha_hamming_join, mrha_hamming_join_on_dfs, mrha_self_join, try_mrha_hamming_join,
+    try_mrha_hamming_join_on_dfs, try_mrha_self_join, JoinOutcome, MrHaConfig, PhaseTimes,
+};
 pub use pivot::PivotPartitioner;
+pub use pmh::{pmh_hamming_join, try_pmh_hamming_join};
 pub use preprocess::Preprocessed;
 
 use ha_core::TupleId;

@@ -22,7 +22,9 @@
 
 use ha_core::TupleId;
 use ha_knn::exact::sq_euclidean;
-use ha_mapreduce::{run_job_partitioned, DistributedCache, JobMetrics, ShuffleBytes};
+use ha_mapreduce::{
+    run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics, ShuffleBytes,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,8 +75,20 @@ pub struct PgbjOutcome {
     pub replication_factor: f64,
 }
 
-/// Runs the PGBJ exact self-kNN-join.
+/// Runs the PGBJ exact self-kNN-join, panicking on job failure (wrapper
+/// over [`try_pgbj_self_knn_join`]).
 pub fn pgbj_self_knn_join(data: &[VecTuple], cfg: &PgbjConfig) -> PgbjOutcome {
+    try_pgbj_self_knn_join(data, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// [`pgbj_self_knn_join`] under a fault injector, surfacing unrecoverable
+/// task or storage failures as a typed [`JobError`].
+pub fn try_pgbj_self_knn_join(
+    data: &[VecTuple],
+    cfg: &PgbjConfig,
+    faults: &FaultInjector,
+) -> Result<PgbjOutcome, JobError> {
     assert!(!data.is_empty(), "empty input");
     assert!(cfg.k >= 1);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -99,7 +113,7 @@ pub fn pgbj_self_knn_join(data: &[VecTuple], cfg: &PgbjConfig) -> PgbjOutcome {
     let pivots_map = pivots_shared.clone();
     let pivots_red = pivots_shared.clone();
     let mut replicas = 0usize;
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         data.to_vec(),
         // Map: emit the tuple to its home cell and every cell within the
@@ -138,7 +152,8 @@ pub fn pgbj_self_knn_join(data: &[VecTuple], cfg: &PgbjConfig) -> PgbjOutcome {
                 out.push((*id, near.into_iter().map(|(_, oid)| oid).collect()));
             }
         },
-    );
+        faults,
+    )?;
     replicas += result.metrics.reduce_input_records();
 
     let mut metrics = result.metrics;
@@ -146,12 +161,12 @@ pub fn pgbj_self_knn_join(data: &[VecTuple], cfg: &PgbjConfig) -> PgbjOutcome {
     metrics.broadcast_bytes += cache.traffic_bytes();
     let mut neighbours = result.outputs;
     neighbours.sort_by_key(|(id, _)| *id);
-    PgbjOutcome {
+    Ok(PgbjOutcome {
         neighbours,
         metrics,
         theta,
         replication_factor: replicas as f64 / data.len() as f64,
-    }
+    })
 }
 
 /// Sampled kNN-radius bound: for a sample of tuples, the exact k-th NN

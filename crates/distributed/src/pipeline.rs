@@ -6,10 +6,10 @@ use std::time::{Duration, Instant};
 
 use ha_core::dynamic::DhaConfig;
 use ha_core::TupleId;
-use ha_mapreduce::JobMetrics;
+use ha_mapreduce::{DfsError, FaultInjector, JobError, JobMetrics};
 
-use crate::global_index::build_global_index;
-use crate::join::{join_option_a, join_option_b, JoinOption};
+use crate::global_index::try_build_global_index;
+use crate::join::{try_join_option_a, try_join_option_b, JoinOption};
 use crate::preprocess::preprocess;
 use crate::VecTuple;
 
@@ -87,8 +87,22 @@ pub struct JoinOutcome {
     pub option_used: JoinOption,
 }
 
-/// Runs the full 3-phase MRHA Hamming-join of R ⋈ S.
+/// Runs the full 3-phase MRHA Hamming-join of R ⋈ S, panicking on job
+/// failure (wrapper over [`try_mrha_hamming_join`]).
 pub fn mrha_hamming_join(r: &[VecTuple], s: &[VecTuple], cfg: &MrHaConfig) -> JoinOutcome {
+    try_mrha_hamming_join(r, s, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// Runs the full 3-phase MRHA Hamming-join of R ⋈ S under a fault
+/// injector, surfacing unrecoverable failures as a typed [`JobError`].
+/// Every job of the pipeline consults the same injector.
+pub fn try_mrha_hamming_join(
+    r: &[VecTuple],
+    s: &[VecTuple],
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<JoinOutcome, JobError> {
     let option = match cfg.option {
         JoinOption::Auto => {
             if r.len() > cfg.auto_option_b_threshold {
@@ -114,17 +128,23 @@ pub fn mrha_hamming_join(r: &[VecTuple], s: &[VecTuple], cfg: &MrHaConfig) -> Jo
         ..cfg.dha.clone()
     };
     let t = Instant::now();
-    let built = build_global_index(r.to_vec(), &pre, &dha, cfg.workers, cfg.partitions);
+    let built = try_build_global_index(r.to_vec(), &pre, &dha, cfg.workers, cfg.partitions, faults)?;
     times.index_build = t.elapsed();
     let mut metrics = built.metrics;
 
     // Phase 3.
     let t = Instant::now();
     let phase = match option {
-        JoinOption::A => {
-            join_option_a(&built.index, s.to_vec(), &pre, cfg.h, cfg.workers, cfg.partitions)
-        }
-        JoinOption::B => join_option_b(
+        JoinOption::A => try_join_option_a(
+            &built.index,
+            s.to_vec(),
+            &pre,
+            cfg.h,
+            cfg.workers,
+            cfg.partitions,
+            faults,
+        )?,
+        JoinOption::B => try_join_option_b(
             &built.index,
             r,
             s.to_vec(),
@@ -132,25 +152,24 @@ pub fn mrha_hamming_join(r: &[VecTuple], s: &[VecTuple], cfg: &MrHaConfig) -> Jo
             cfg.h,
             cfg.workers,
             cfg.partitions,
-        ),
+            faults,
+        )?,
         JoinOption::Auto => unreachable!("resolved above"),
     };
     times.join = t.elapsed();
     metrics.absorb(&phase.metrics);
     metrics.job_name = "mrha-pipeline".to_string();
 
-    JoinOutcome {
+    Ok(JoinOutcome {
         pairs: phase.pairs,
         metrics,
         times,
         option_used: option,
-    }
+    })
 }
 
-/// The Figure 5 pipeline with the DFS in the loop: inputs are read from
-/// `r_path`/`s_path`, the serialized global HA-Index is written to (and
-/// re-read from) the DFS between Phases 2 and 3 — exercising the real
-/// wire format — and the result pairs land in `out_path`.
+/// The Figure 5 pipeline with the DFS in the loop, panicking on job or
+/// storage failure (wrapper over [`try_mrha_hamming_join_on_dfs`]).
 pub fn mrha_hamming_join_on_dfs(
     dfs: &ha_mapreduce::InMemoryDfs,
     r_path: &str,
@@ -158,13 +177,33 @@ pub fn mrha_hamming_join_on_dfs(
     out_path: &str,
     cfg: &MrHaConfig,
 ) -> JoinOutcome {
-    use crate::global_index::build_global_index;
-    use crate::join::join_option_a;
+    try_mrha_hamming_join_on_dfs(dfs, r_path, s_path, out_path, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// The Figure 5 pipeline with the DFS in the loop: inputs are read from
+/// `r_path`/`s_path`, the serialized global HA-Index is written to (and
+/// re-read from) the DFS between Phases 2 and 3 — exercising the real
+/// wire format — and the result pairs land in `out_path`.
+///
+/// Every DFS hop goes through the typed `try_*` read path: replica loss
+/// and corruption the store can mask are invisible here, and
+/// unrecoverable loss (or a global-index blob whose checksum footer fails
+/// to verify) surfaces as [`JobError::StorageFailed`] — the pipeline
+/// fails closed, never on a panic and never on silently-corrupt data.
+pub fn try_mrha_hamming_join_on_dfs(
+    dfs: &ha_mapreduce::InMemoryDfs,
+    r_path: &str,
+    s_path: &str,
+    out_path: &str,
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<JoinOutcome, JobError> {
     use crate::preprocess::preprocess;
     use ha_core::dynamic::DynamicHaIndex;
 
-    let r: Vec<VecTuple> = dfs.get(r_path);
-    let s: Vec<VecTuple> = dfs.get(s_path);
+    let r: Vec<VecTuple> = dfs.try_get(r_path)?;
+    let s: Vec<VecTuple> = dfs.try_get(s_path)?;
 
     // Phase 1.
     let pre = preprocess(&r, &s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed);
@@ -176,10 +215,10 @@ pub fn mrha_hamming_join_on_dfs(
 
     // Phase 2, then persist the global index blob (Figure 5's DFS hop).
     let t = Instant::now();
-    let built = build_global_index(r, &pre, &cfg.dha, cfg.workers, cfg.partitions);
+    let built = try_build_global_index(r, &pre, &cfg.dha, cfg.workers, cfg.partitions, faults)?;
     let blob = built.index.to_bytes();
     let index_path = format!("{out_path}.ha-index");
-    dfs.put_with_blocks(&index_path, vec![blob], 1, 1);
+    dfs.try_put_with_blocks(&index_path, vec![blob], 1, 1)?;
     times.index_build = t.elapsed();
     let mut metrics = built.metrics;
 
@@ -187,31 +226,50 @@ pub fn mrha_hamming_join_on_dfs(
     // so any serializer defect breaks the join, not just a unit test.
     let t = Instant::now();
     let blob: Vec<u8> = dfs
-        .get::<Vec<u8>>(&index_path)
+        .try_get::<Vec<u8>>(&index_path)?
         .pop()
-        .expect("index blob just written");
-    let index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone())
-        .expect("self-written blob must decode");
-    let phase = join_option_a(&index, s, &pre, cfg.h, cfg.workers, cfg.partitions);
+        .ok_or(DfsError::FileNotFound {
+            path: index_path.clone(),
+        })?;
+    // A decode failure here means the blob rotted *between* the block
+    // checksum verifying and H-Search consuming it — the wire format's
+    // own footer is the last line of defense.
+    let index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone()).map_err(|_| {
+        JobError::StorageFailed(DfsError::ChecksumMismatch {
+            path: index_path.clone(),
+            block: 0,
+        })
+    })?;
+    let phase = try_join_option_a(&index, s, &pre, cfg.h, cfg.workers, cfg.partitions, faults)?;
     times.join = t.elapsed();
     metrics.absorb(&phase.metrics);
     metrics.job_name = "mrha-pipeline-dfs".to_string();
 
-    dfs.put_with_blocks(out_path, phase.pairs.clone(), 4096, 16);
-    JoinOutcome {
+    dfs.try_put_with_blocks(out_path, phase.pairs.clone(), 4096, 16)?;
+    Ok(JoinOutcome {
         pairs: phase.pairs,
         metrics,
         times,
         option_used: JoinOption::A,
-    }
+    })
 }
 
 /// Self-join convenience: R ⋈ R with mirror pairs and self-matches
 /// removed (the §6.2 Self-Hamming-join workload).
 pub fn mrha_self_join(data: &[VecTuple], cfg: &MrHaConfig) -> JoinOutcome {
-    let mut outcome = mrha_hamming_join(data, data, cfg);
+    try_mrha_self_join(data, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// [`mrha_self_join`] under a fault injector.
+pub fn try_mrha_self_join(
+    data: &[VecTuple],
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<JoinOutcome, JobError> {
+    let mut outcome = try_mrha_hamming_join(data, data, cfg, faults)?;
     outcome.pairs.retain(|(a, b)| a < b);
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 
 use ha_core::select::hamming_join;
 use ha_core::{MultiHashTable, TupleId};
-use ha_mapreduce::{run_job_partitioned, DistributedCache, ShuffleBytes};
+use ha_mapreduce::{run_job_with_faults, DistributedCache, FaultInjector, JobError, ShuffleBytes};
 
 use crate::pipeline::{JoinOutcome, MrHaConfig, PhaseTimes};
 use crate::preprocess::preprocess;
@@ -22,13 +22,27 @@ use crate::JoinOption;
 use crate::VecTuple;
 
 /// Runs the PMH baseline join of R ⋈ S with `num_tables` hash tables
-/// (PMH-10 in the paper's figures).
+/// (PMH-10 in the paper's figures), panicking on job failure (wrapper
+/// over [`try_pmh_hamming_join`]).
 pub fn pmh_hamming_join(
     r: &[VecTuple],
     s: &[VecTuple],
     num_tables: usize,
     cfg: &MrHaConfig,
 ) -> JoinOutcome {
+    try_pmh_hamming_join(r, s, num_tables, cfg, &FaultInjector::none())
+        .unwrap_or_else(|e| panic!("job failed: {e}"))
+}
+
+/// [`pmh_hamming_join`] under a fault injector, surfacing unrecoverable
+/// task or storage failures as a typed [`JobError`].
+pub fn try_pmh_hamming_join(
+    r: &[VecTuple],
+    s: &[VecTuple],
+    num_tables: usize,
+    cfg: &MrHaConfig,
+    faults: &FaultInjector,
+) -> Result<JoinOutcome, JobError> {
     // PMH still needs a hash function; it is learned the same way but no
     // pivots are used — S is hash-partitioned (the source of PMH's skew
     // sensitivity).
@@ -49,7 +63,7 @@ pub fn pmh_hamming_join(
     let config = crate::job_config("pmh-join", cfg.workers, cfg.partitions);
     let h = cfg.h;
     let partitions = cfg.partitions as u64;
-    let result = run_job_partitioned(
+    let result = run_job_with_faults(
         &config,
         s.to_vec(),
         // Map: route the raw S tuple to a server (no pivots — plain
@@ -78,7 +92,8 @@ pub fn pmh_hamming_join(
                 out.push((rid, sid));
             }
         },
-    );
+        faults,
+    )?;
     times.join = t.elapsed();
 
     let mut metrics = result.metrics;
@@ -86,12 +101,12 @@ pub fn pmh_hamming_join(
     metrics.broadcast_bytes += cache.traffic_bytes() + pre.hasher.approx_bytes() * cfg.workers;
     let mut pairs: Vec<(TupleId, TupleId)> = result.outputs;
     pairs.sort_unstable();
-    JoinOutcome {
+    Ok(JoinOutcome {
         pairs,
         metrics,
         times,
         option_used: JoinOption::A,
-    }
+    })
 }
 
 #[cfg(test)]

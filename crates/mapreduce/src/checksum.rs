@@ -1,0 +1,243 @@
+//! In-house record checksums for DFS block integrity.
+//!
+//! HDFS stores a CRC per 512-byte chunk and verifies it on every read;
+//! the in-memory DFS does the moral equivalent with one FNV-1a 64-bit
+//! digest per block. The hash is computed over a canonical byte encoding
+//! of the records (fixed-width little-endian integers, IEEE-754 bit
+//! patterns for floats, length-prefixed sequences), so two byte-identical
+//! replicas always agree and any single corrupted replica disagrees with
+//! the write-time digest.
+//!
+//! A dedicated [`Checksum`] trait — rather than `std::hash::Hash` — is
+//! required because the pipeline's record types contain `f64`
+//! (`VecTuple = (Vec<f64>, u64)`), which has no `Hash` impl; floats are
+//! digested via [`f64::to_bits`].
+
+/// FNV-1a, 64-bit. Small, dependency-free, and good enough to detect the
+/// single-replica corruptions the storage-fault plans inject (this is an
+/// integrity check against simulated bit rot, not an adversary).
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Digests raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Digests a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Types with a canonical byte encoding the DFS can checksum.
+///
+/// Implementations must be *deterministic* — the same value always feeds
+/// the hasher the same bytes — because block digests computed at write
+/// time are compared against digests recomputed on every read.
+pub trait Checksum {
+    /// Feeds this value's canonical encoding into `h`.
+    fn update_checksum(&self, h: &mut Fnv64);
+}
+
+macro_rules! checksum_via_le_bytes {
+    ($($t:ty),*) => {$(
+        impl Checksum for $t {
+            fn update_checksum(&self, h: &mut Fnv64) {
+                h.write(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+checksum_via_le_bytes!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Checksum for f32 {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Checksum for f64 {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Checksum for bool {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write(&[u8::from(*self)]);
+    }
+}
+
+impl Checksum for char {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write(&(*self as u32).to_le_bytes());
+    }
+}
+
+impl Checksum for () {
+    fn update_checksum(&self, _h: &mut Fnv64) {}
+}
+
+impl Checksum for str {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        h.write(self.as_bytes());
+    }
+}
+
+impl Checksum for String {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        self.as_str().update_checksum(h);
+    }
+}
+
+impl<T: Checksum + ?Sized> Checksum for &T {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        (**self).update_checksum(h);
+    }
+}
+
+impl<T: Checksum> Checksum for Vec<T> {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        h.write_u64(self.len() as u64);
+        for item in self {
+            item.update_checksum(h);
+        }
+    }
+}
+
+impl<T: Checksum> Checksum for Option<T> {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        match self {
+            None => h.write(&[0]),
+            Some(v) => {
+                h.write(&[1]);
+                v.update_checksum(h);
+            }
+        }
+    }
+}
+
+impl<A: Checksum, B: Checksum> Checksum for (A, B) {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        self.0.update_checksum(h);
+        self.1.update_checksum(h);
+    }
+}
+
+impl<A: Checksum, B: Checksum, C: Checksum> Checksum for (A, B, C) {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        self.0.update_checksum(h);
+        self.1.update_checksum(h);
+        self.2.update_checksum(h);
+    }
+}
+
+impl<A: Checksum, B: Checksum, C: Checksum, D: Checksum> Checksum for (A, B, C, D) {
+    fn update_checksum(&self, h: &mut Fnv64) {
+        self.0.update_checksum(h);
+        self.1.update_checksum(h);
+        self.2.update_checksum(h);
+        self.3.update_checksum(h);
+    }
+}
+
+/// Digest of one DFS block: the record count, then every record's
+/// canonical encoding in order.
+pub fn block_checksum<T: Checksum>(records: &[T]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(records.len() as u64);
+    for r in records {
+        r.update_checksum(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let block: Vec<(Vec<f64>, u64)> = vec![(vec![1.5, -0.25], 7), (vec![], 9)];
+        assert_eq!(block_checksum(&block), block_checksum(&block.clone()));
+    }
+
+    #[test]
+    fn sensitive_to_every_field() {
+        let base: Vec<(Vec<f64>, u64)> = vec![(vec![1.0, 2.0], 3)];
+        let digest = block_checksum(&base);
+        assert_ne!(digest, block_checksum::<(Vec<f64>, u64)>(&[(vec![1.0, 2.0], 4)]));
+        assert_ne!(digest, block_checksum::<(Vec<f64>, u64)>(&[(vec![1.0, 2.5], 3)]));
+        assert_ne!(digest, block_checksum::<(Vec<f64>, u64)>(&[(vec![2.0, 1.0], 3)]));
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_splits() {
+        // Without length prefixes ["ab"] and ["a", "b"] would collide.
+        let a = block_checksum(&["ab".to_string()]);
+        let b = block_checksum(&["a".to_string(), "b".to_string()]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_blocks_of_different_types_hash_alike_but_records_differ() {
+        assert_eq!(block_checksum::<u8>(&[]), block_checksum::<u64>(&[]));
+        assert_ne!(block_checksum(&[0u8]), block_checksum(&[0u64]));
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguish_signed_zero() {
+        assert_ne!(block_checksum(&[0.0f64]), block_checksum(&[-0.0f64]));
+    }
+
+    #[test]
+    fn option_and_bool_and_char_cover_tags() {
+        assert_ne!(
+            block_checksum(&[Some(0u8)]),
+            block_checksum::<Option<u8>>(&[None])
+        );
+        assert_ne!(block_checksum(&[true]), block_checksum(&[false]));
+        assert_ne!(block_checksum(&['a']), block_checksum(&['b']));
+    }
+}

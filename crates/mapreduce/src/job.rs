@@ -156,6 +156,11 @@ pub enum JobError {
         /// The configured reducer count.
         reducers: usize,
     },
+    /// A DFS read or write failed beyond what replication could mask —
+    /// unrecoverable data loss or corruption surfaced by the storage
+    /// layer (see [`crate::dfs::DfsError`]). Retrying the task cannot
+    /// help: the bytes are gone.
+    StorageFailed(crate::dfs::DfsError),
 }
 
 impl std::fmt::Display for JobError {
@@ -174,11 +179,18 @@ impl std::fmt::Display for JobError {
                 f,
                 "{task}: partitioner returned {partition} for {reducers} reducers"
             ),
+            JobError::StorageFailed(e) => write!(f, "storage failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+impl From<crate::dfs::DfsError> for JobError {
+    fn from(e: crate::dfs::DfsError) -> Self {
+        JobError::StorageFailed(e)
+    }
+}
 
 /// Output records plus metrics of a finished job.
 #[derive(Debug)]

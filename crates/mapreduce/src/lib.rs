@@ -16,7 +16,15 @@
 //!    behind Figures 7 and 9.
 //!
 //! An in-memory [`dfs`] rounds out the Hadoop role: named files, block
-//! splits, and read/write between the chained jobs of the 3-phase join.
+//! splits, and read/write between the chained jobs of the 3-phase join —
+//! with HDFS-style replication (default 3× over simulated datanodes) and
+//! per-block FNV-1a checksums ([`checksum`]) verified on every read.
+//! Corrupt or unreachable replicas are quarantined, reads fail over and
+//! re-replicate back to target factor (counted in [`DfsMetrics`]), and
+//! unrecoverable loss surfaces as a typed [`dfs::DfsError`] /
+//! [`JobError::StorageFailed`] instead of a panic. The [`storage_fault`]
+//! module injects storage failures as deterministically as [`fault`]
+//! injects task failures.
 //!
 //! ## Fault tolerance
 //!
@@ -60,18 +68,22 @@
 //! ```
 
 pub mod cache;
+pub mod checksum;
 pub mod dfs;
 pub mod fault;
 pub mod job;
 pub mod metrics;
 mod shuffle;
+pub mod storage_fault;
 
 pub use cache::DistributedCache;
-pub use dfs::InMemoryDfs;
+pub use checksum::{Checksum, Fnv64};
+pub use dfs::{DfsConfig, DfsError, InMemoryDfs};
 pub use fault::{Fault, FaultInjector, FaultPlan, Phase, TaskId};
 pub use job::{
     hash_partition, run_job, run_job_partitioned, run_job_with_faults, try_run_job,
     try_run_job_partitioned, JobConfig, JobError, JobResult,
 };
-pub use metrics::{JobMetrics, TaskMetrics};
+pub use metrics::{DfsMetrics, JobMetrics, TaskMetrics};
 pub use shuffle::ShuffleBytes;
+pub use storage_fault::{StorageFault, StorageFaultEvent, StorageFaultPlan};

@@ -131,6 +131,40 @@ impl JobMetrics {
     }
 }
 
+/// Snapshot of the DFS storage-recovery counters — what it cost the
+/// replicated store to keep serving reads (the storage analogue of the
+/// attempts/failures/speculative counters on [`TaskMetrics`]). Reported
+/// next to the shuffle accounting in the fig7/fig9 experiment output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfsMetrics {
+    /// Replicas that failed read-time checksum verification and were
+    /// quarantined.
+    pub corrupt_blocks_detected: u64,
+    /// Replica switches: copies skipped (dead or corrupt) before a block
+    /// read found a healthy one.
+    pub failovers: u64,
+    /// Copies re-created to bring degraded blocks back to target
+    /// replication factor.
+    pub re_replications: u64,
+    /// Block reads that succeeded despite skipping at least one replica.
+    pub degraded_reads: u64,
+    /// Total logical bytes written (per caller-supplied record sizes).
+    pub bytes_written: usize,
+}
+
+impl DfsMetrics {
+    /// Recovery actions performed (corruption quarantines + failovers +
+    /// re-replications) — 0 means storage never had to hide a fault.
+    pub fn recovery_actions(&self) -> u64 {
+        self.corrupt_blocks_detected + self.failovers + self.re_replications
+    }
+
+    /// True when no read ever needed recovery.
+    pub fn is_clean(&self) -> bool {
+        self.recovery_actions() == 0 && self.degraded_reads == 0
+    }
+}
+
 fn skew(volumes: impl Iterator<Item = usize>) -> f64 {
     let v: Vec<usize> = volumes.collect();
     if v.is_empty() {

@@ -1,0 +1,120 @@
+//! Panic audit: the fault-tolerance layers (`ha-mapreduce`,
+//! `ha-distributed`) promise typed errors, not panics. Every `try_*`
+//! entry point must be panic-free; the only panics allowed in library
+//! code are the documented legacy wrappers (`get`/`splits`/`run_job`/
+//! `mrha_*` and friends, which forward their typed error into a panic
+//! message), the fault injector's *deliberate* injected panic, and a
+//! handful of proven-unreachable invariants.
+//!
+//! This test walks the two crates' non-test library source and holds the
+//! count of panic-capable call sites to an explicit per-file budget. A
+//! new `.unwrap()` / `.expect(` / `panic!(` / `unreachable!(` in lib code
+//! fails the audit until it is either converted to a typed error or
+//! consciously added to the budget below.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Per-file budget of panic-capable call sites in non-test library code:
+/// `(file, unwrap, expect, panic, unreachable)`.
+///
+/// Every entry is a documented exception:
+/// - *wrappers*: `panic!("{e}")` / `panic!("job failed: {e}")` adapters
+///   over a `try_*` function — the typed path exists alongside;
+/// - `job.rs`: the injector's intentional `panic!("injected panic …")`,
+///   two wrapper panics, channel/join `expect`s on invariants the
+///   supervisor upholds (senders outlive attempts; supervisors catch
+///   task panics), and one `unreachable!` behind the same invariant;
+/// - `metrics.rs` / `pgbj.rs`: `expect("non-empty")` guarded by an
+///   explicit emptiness check in the caller;
+/// - `join.rs` / `pipeline.rs`: `unreachable!` on enum states resolved
+///   immediately above.
+const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
+    ("crates/mapreduce/src/cache.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/checksum.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/dfs.rs", 0, 0, 3, 0),
+    ("crates/mapreduce/src/fault.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/job.rs", 0, 3, 3, 1),
+    ("crates/mapreduce/src/lib.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/metrics.rs", 0, 1, 0, 0),
+    ("crates/mapreduce/src/shuffle.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/storage_fault.rs", 0, 0, 0, 0),
+    ("crates/distributed/src/batch_select.rs", 0, 0, 1, 0),
+    ("crates/distributed/src/global_index.rs", 0, 0, 1, 0),
+    ("crates/distributed/src/join.rs", 0, 0, 2, 1),
+    ("crates/distributed/src/knn_join.rs", 0, 0, 1, 0),
+    ("crates/distributed/src/lib.rs", 0, 0, 0, 0),
+    ("crates/distributed/src/pgbj.rs", 0, 1, 1, 0),
+    ("crates/distributed/src/pipeline.rs", 0, 0, 3, 1),
+    ("crates/distributed/src/pivot.rs", 0, 0, 0, 0),
+    ("crates/distributed/src/pmh.rs", 0, 0, 1, 0),
+    ("crates/distributed/src/preprocess.rs", 0, 0, 0, 0),
+];
+
+/// Non-test library source: everything before the first `#[cfg(test)]`,
+/// with line comments stripped (doc examples stay — they are API surface
+/// and must not teach panicking patterns either... but they live in `//!`
+/// and `///` comments, which we strip too).
+fn lib_code(path: &Path) -> String {
+    let src = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    src.lines()
+        .take_while(|l| !l.trim_start().starts_with("#[cfg(test)]"))
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn count(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+#[test]
+fn lib_code_stays_within_its_panic_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let budget: BTreeMap<&str, (usize, usize, usize, usize)> = BUDGET
+        .iter()
+        .map(|&(f, u, e, p, r)| (f, (u, e, p, r)))
+        .collect();
+
+    // The budget must cover every lib file — a brand-new source file
+    // cannot dodge the audit by not being listed.
+    for dir in ["crates/mapreduce/src", "crates/distributed/src"] {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(root.join(dir)).expect("source dir exists") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|x| x == "rs") {
+                found.push(format!(
+                    "{dir}/{}",
+                    path.file_name().expect("file name").to_string_lossy()
+                ));
+            }
+        }
+        for f in &found {
+            assert!(
+                budget.contains_key(f.as_str()),
+                "{f} is not covered by the panic audit budget — add it"
+            );
+        }
+    }
+
+    for (file, &(unwraps, expects, panics, unreachables)) in &budget {
+        let code = lib_code(&root.join(file));
+        let got = (
+            count(&code, ".unwrap()"),
+            count(&code, ".expect("),
+            count(&code, "panic!("),
+            count(&code, "unreachable!("),
+        );
+        assert_eq!(
+            got,
+            (unwraps, expects, panics, unreachables),
+            "{file}: panic-capable call sites (unwrap, expect, panic!, \
+             unreachable!) drifted from the documented budget — convert \
+             new sites to typed errors or update the audit"
+        );
+    }
+}
