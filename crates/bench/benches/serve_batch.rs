@@ -1,0 +1,86 @@
+//! Criterion microbenchmark behind the HA-Serve design: per-batch cost of
+//! answering B same-radius selects on one shard, solo H-Search (one
+//! traversal per query) vs shared-frontier batched H-Search (one
+//! traversal per batch), at batch sizes 1 / 8 / 64 and two radii.
+//!
+//! The shared frontier amortizes queue operations, child iteration, and
+//! pattern fetches across the batch while keeping per-query distance
+//! arithmetic identical — but it pays per-(node, query) bookkeeping for
+//! riding the combined frontier. How the trade lands depends on frontier
+//! *overlap*: "scattered" batches draw B distinct workload queries whose
+//! frontiers diverge after the top levels; "clustered" batches perturb
+//! one hot query by a bit or two so the frontiers nearly coincide.
+//! Measured finding (recorded in EXPERIMENTS.md): the HA-Index prunes so
+//! aggressively that solo traversal keeps a small edge in *pure CPU* even
+//! clustered — the shared frontier's value in HA-Serve is that one
+//! traversal per batch amortizes the per-request queue/lock/wakeup
+//! crossings, which the `serve` experiment measures end-to-end. This
+//! bench pins the traversal-level trade so a regression in either
+//! direction is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::{hashed_dataset, query_workload};
+use ha_core::{DynamicHaIndex, HammingIndex};
+use ha_datagen::DatasetProfile;
+
+const N: usize = 20_000;
+const CODE_LEN: usize = 32;
+const RADII: [u32; 2] = [3, 6];
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+fn bench_batched_select(c: &mut Criterion) {
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), N, CODE_LEN, 11);
+    let idx = DynamicHaIndex::build(ds.codes.clone());
+    let queries = query_workload(&ds.codes, 64, 12);
+
+    let scattered = |batch: usize| -> Vec<_> {
+        (0..batch).map(|i| queries[i % queries.len()].clone()).collect()
+    };
+    let clustered = |batch: usize| -> Vec<_> {
+        (0..batch)
+            .map(|i| {
+                let mut q = queries[0].clone();
+                q.flip(i % CODE_LEN);
+                if i >= CODE_LEN {
+                    q.flip((i * 7 + 3) % CODE_LEN);
+                }
+                q
+            })
+            .collect()
+    };
+
+    for &h in &RADII {
+        let mut group = c.benchmark_group(format!("serve_batch_h{h}"));
+        for &batch in &BATCH_SIZES {
+            for (kind, make) in [("scattered", &scattered as &dyn Fn(usize) -> Vec<_>), ("clustered", &clustered)] {
+                let codes = make(batch);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("solo-{kind}"), batch),
+                    &codes,
+                    |b, codes| {
+                        b.iter(|| {
+                            let answers: Vec<_> = codes
+                                .iter()
+                                .map(|q| std::hint::black_box(idx.search(q, h)))
+                                .collect();
+                            std::hint::black_box(answers)
+                        })
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("shared-frontier-{kind}"), batch),
+                    &codes,
+                    |b, codes| b.iter(|| std::hint::black_box(idx.batch_search(codes, h))),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_batched_select
+}
+criterion_main!(benches);

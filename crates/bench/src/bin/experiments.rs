@@ -1,20 +1,22 @@
 //! The experiment driver: regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section, plus the serving-layer experiment.
 //!
 //! ```text
 //! cargo run --release -p ha-bench --bin experiments -- all
 //! cargo run --release -p ha-bench --bin experiments -- table4 fig6
+//! cargo run --release -p ha-bench --bin experiments -- --json out.json serve
 //! HA_SCALE=10 cargo run --release -p ha-bench --bin experiments -- fig9
 //! ```
 //!
 //! `HA_SCALE` multiplies every base dataset size (default 1.0 — laptop
 //! scale; the paper's full workloads are roughly `HA_SCALE=10`..`50`
-//! depending on the experiment).
+//! depending on the experiment). `--json <path>` additionally writes
+//! every printed table to `<path>` as one machine-readable JSON document.
 
-use ha_bench::exp;
+use ha_bench::{exp, report};
 use ha_bench::Scale;
 
-const USAGE: &str = "usage: experiments [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|all]...
+const USAGE: &str = "usage: experiments [--json <path>] [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|serve|all]...
 
 Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   table3   H-Search execution trace on the running example
@@ -25,16 +27,46 @@ Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   fig8     DHA-Index window/depth parameter study
   fig9     MapReduce join: running time vs data size   (runs with fig7)
   fig10    effect of the preprocessing sample rate
+  serve    HA-Serve: online select throughput, single vs micro-batched
   all      everything above
+
+Options:
+  --json <path>   also write every table to <path> as JSON
 
 Environment: HA_SCALE=<f64> multiplies dataset sizes (default 1.0).";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!("{USAGE}");
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
+
+    // Split `--json <path>` out of the experiment names.
+    let mut json_path: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a path\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(arg);
+        }
+    }
+    if args.is_empty() {
+        eprintln!("no experiments named\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if json_path.is_some() {
+        report::enable();
+    }
+
     let scale = Scale::from_env();
     println!(
         "# HA-Index experiment suite (HA_SCALE={}, {} query reps)",
@@ -56,6 +88,7 @@ fn main() {
             }
             "fig8" => exp::fig8::run(&scale),
             "fig10" => exp::fig10::run(&scale),
+            "serve" => exp::serve::run(&scale),
             "all" => {
                 exp::table3::run();
                 exp::table4::run(&scale);
@@ -67,10 +100,21 @@ fn main() {
                     ran_fig7_9 = true;
                 }
                 exp::fig10::run(&scale);
+                exp::serve::run(&scale);
             }
             other => {
                 eprintln!("unknown experiment: {other}\n\n{USAGE}");
                 std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        match report::write_json(&path) {
+            Ok(count) => println!("\n# wrote {count} table(s) to {path}"),
+            Err(e) => {
+                eprintln!("writing {path} failed: {e}");
+                std::process::exit(1);
             }
         }
     }

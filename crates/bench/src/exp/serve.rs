@@ -1,0 +1,112 @@
+//! The `serve` experiment — online serving throughput over the global
+//! HA-Index (the HA-Serve layer; no counterpart figure in the paper,
+//! which stops at offline joins).
+//!
+//! The pipeline mirrors production shape end to end: hash the dataset,
+//! build the global HA-Index, persist its blob through the replicated
+//! DFS, load it back into a sharded service, then drive a deterministic
+//! closed-loop workload three ways:
+//!
+//! * `single`        — micro-batching off (`max_batch = 1`), cache off;
+//! * `batched`       — shared-frontier micro-batching, cache off;
+//! * `batched+cache` — micro-batching plus the epoch-validated result
+//!   cache.
+//!
+//! The headline comparison is `single` vs `batched` throughput: identical
+//! answers (the load generator checks id counts), one H-Search frontier
+//! per batch instead of per query.
+
+use ha_core::DynamicHaIndex;
+use ha_datagen::DatasetProfile;
+use ha_mapreduce::InMemoryDfs;
+use ha_service::{HaServe, ServeConfig};
+
+use crate::serve_load::{closed_loop, LoadConfig};
+use crate::{fmt_duration, hashed_dataset, print_table, query_workload, Scale};
+
+const BASE_N: usize = 20_000;
+const CODE_LEN: usize = 32;
+const INDEX_PATH: &str = "/serve/global.haix";
+
+/// Runs the serving-throughput comparison.
+pub fn run(scale: &Scale) {
+    let n = scale.n(BASE_N);
+    let ds = hashed_dataset(&DatasetProfile::nuswide(), n, CODE_LEN, 7000);
+    let pool = query_workload(&ds.codes, 256, 7100);
+
+    // Persist the global index the way the MapReduce pipeline does, then
+    // serve from the stored artifact (checksums verified on both the DFS
+    // read path and the blob's own footer).
+    let dfs = InMemoryDfs::new();
+    let blob = DynamicHaIndex::build(ds.codes.clone()).to_bytes();
+    if let Err(e) = dfs.try_put_with_blocks(INDEX_PATH, vec![blob], 1, 1) {
+        println!("serve: persisting the index failed: {e}");
+        return;
+    }
+
+    let load = LoadConfig {
+        clients: 16,
+        ops_per_client: scale.n(200).min(2000),
+        radius: 3,
+        seed: 7200,
+    };
+
+    let variants: [(&str, usize, usize); 3] = [
+        ("single", 1, 0),
+        ("batched", 64, 0),
+        ("batched+cache", 64, 4096),
+    ];
+    let mut rows = Vec::new();
+    let mut id_totals = Vec::new();
+    for (label, max_batch, cache_capacity) in variants {
+        let cfg = ServeConfig {
+            shards: 4,
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch,
+            cache_capacity,
+            seed: 7300,
+            ..ServeConfig::default()
+        };
+        let serve = match HaServe::load_from_dfs(&dfs, INDEX_PATH, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("serve: loading the index failed: {e}");
+                return;
+            }
+        };
+        let report = closed_loop(&serve, &pool, &load);
+        let m = serve.metrics();
+        id_totals.push(report.ids_received);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", report.throughput()),
+            format!("{:.2}", m.mean_batch_size()),
+            m.batches_formed.to_string(),
+            fmt_duration(m.total_latency().quantile(0.5)),
+            fmt_duration(m.total_latency().quantile(0.99)),
+            format!("{:.0}%", m.cache_hit_rate() * 100.0),
+            report.rejections_retried.to_string(),
+        ]);
+    }
+    // All three variants answer the identical workload — identical result
+    // volume is the cheap end-to-end exactness check.
+    let consistent = id_totals.windows(2).all(|w| w[0] == w[1]);
+    print_table(
+        &format!(
+            "Serve: closed-loop select throughput on {} (n={n}, {} clients, h={}, answers consistent: {})",
+            ds.name, load.clients, load.radius, consistent
+        ),
+        &[
+            "config",
+            "ops/s",
+            "mean batch",
+            "batches",
+            "p50 probe",
+            "p99 probe",
+            "cache hit",
+            "retries",
+        ],
+        &rows,
+    );
+}

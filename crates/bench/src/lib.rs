@@ -8,6 +8,8 @@
 //! approaches the paper's full workloads.
 
 pub mod exp;
+pub mod report;
+pub mod serve_load;
 
 use std::time::{Duration, Instant};
 
@@ -151,8 +153,11 @@ pub fn fmt_bytes(b: usize) -> String {
 }
 
 /// Renders an aligned text table (the experiment outputs mirror the
-/// paper's tables).
+/// paper's tables). When JSON recording is enabled ([`report::enable`],
+/// the `--json` flag of the `experiments` binary) the table is also
+/// captured verbatim for the machine-readable dump.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    report::record(title, headers, rows);
     println!("\n=== {title} ===");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {

@@ -1,0 +1,188 @@
+//! Machine-readable experiment output.
+//!
+//! Every table printed through [`print_table`](crate::print_table) is
+//! also captured here when recording is enabled (the `--json <path>` flag
+//! of the `experiments` binary), and the run's captured tables are
+//! written out as one JSON document — so figure/table regeneration can be
+//! diffed, plotted, and regression-checked by scripts instead of by
+//! eyeballing aligned text.
+//!
+//! The emitter is a ~40-line hand-rolled serializer (the environment is
+//! offline; no serde): everything is strings, arrays, and one object
+//! shape, so the full JSON grammar is not needed.
+
+use std::sync::Mutex;
+
+/// One captured experiment table: exactly what `print_table` rendered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedTable {
+    /// The table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, row-major.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// `None` = recording disabled (the default; plain printing only).
+static RECORDER: Mutex<Option<Vec<RecordedTable>>> = Mutex::new(None);
+
+fn recorder() -> std::sync::MutexGuard<'static, Option<Vec<RecordedTable>>> {
+    RECORDER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Starts capturing tables (idempotent; an earlier capture is kept).
+pub fn enable() {
+    let mut rec = recorder();
+    if rec.is_none() {
+        *rec = Some(Vec::new());
+    }
+}
+
+/// True when tables are being captured.
+pub fn is_enabled() -> bool {
+    recorder().is_some()
+}
+
+/// Captures one table (no-op when disabled). Called by `print_table`.
+pub fn record(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    if let Some(tables) = recorder().as_mut() {
+        tables.push(RecordedTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+    }
+}
+
+/// Takes the captured tables, leaving recording enabled with an empty
+/// capture.
+pub fn take() -> Vec<RecordedTable> {
+    let mut rec = recorder();
+    match rec.as_mut() {
+        Some(tables) => std::mem::take(tables),
+        None => Vec::new(),
+    }
+}
+
+/// Writes the captured tables to `path` as a JSON document.
+pub fn write_json(path: &str) -> std::io::Result<usize> {
+    let tables = take();
+    std::fs::write(path, tables_to_json(&tables))?;
+    Ok(tables.len())
+}
+
+/// Renders tables as `{"tables": [{"title", "headers", "rows"}, …]}`.
+/// Pure, so the escaping and shape are unit-testable without touching
+/// the global recorder.
+pub fn tables_to_json(tables: &[RecordedTable]) -> String {
+    let mut out = String::from("{\n  \"tables\": [");
+    for (ti, t) in tables.iter().enumerate() {
+        if ti > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n      \"title\": ");
+        out.push_str(&json_string(&t.title));
+        out.push_str(",\n      \"headers\": ");
+        out.push_str(&json_string_array(&t.headers));
+        out.push_str(",\n      \"rows\": [");
+        for (ri, row) in t.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        ");
+            out.push_str(&json_string_array(row));
+        }
+        if !t.rows.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    if !tables.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, and control
+/// characters; everything else passes through as UTF-8).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(title: &str) -> RecordedTable {
+        RecordedTable {
+            title: title.to_string(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![
+                vec!["1".into(), "2".into()],
+                vec!["3".into(), "4".into()],
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_round_trips_the_cells() {
+        let json = tables_to_json(&[table("T1"), table("T2")]);
+        assert!(json.starts_with("{\n  \"tables\": ["));
+        assert!(json.contains("\"title\": \"T1\""));
+        assert!(json.contains("\"title\": \"T2\""));
+        assert!(json.contains("[\"a\", \"b\"]"));
+        assert!(json.contains("[\"3\", \"4\"]"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_capture_is_valid_json() {
+        assert_eq!(tables_to_json(&[]), "{\n  \"tables\": []\n}\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let escaped = json_string("he said \"hi\"\\\n\u{1}");
+        assert_eq!(escaped, "\"he said \\\"hi\\\"\\\\\\n\\u0001\"");
+    }
+
+    #[test]
+    fn recorder_captures_only_when_enabled() {
+        // Serialize against other tests touching the global recorder by
+        // running the whole lifecycle in one test.
+        record("ignored", &["h"], &[]);
+        enable();
+        record("kept", &["h"], &[vec!["x".into()]]);
+        let tables = take();
+        let kept: Vec<&RecordedTable> = tables.iter().filter(|t| t.title == "kept").collect();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rows, vec![vec!["x".to_string()]]);
+        assert!(!tables.iter().any(|t| t.title == "ignored"));
+        assert!(is_enabled(), "take keeps recording on");
+    }
+}

@@ -1,0 +1,170 @@
+//! A deterministic closed-loop load generator for the HA-Serve layer.
+//!
+//! `clients` threads each issue `ops_per_client` Hamming-selects, one
+//! outstanding request per client (closed loop): a client submits, waits
+//! for the answer, then submits the next. Query choice is driven by a
+//! per-client `StdRng` seeded from `seed ^ client`, so the *set* of
+//! requests each client issues is identical run to run — only the
+//! interleaving (and therefore the micro-batch composition) varies with
+//! scheduling. Admission rejections are retried (and counted): a closed
+//! loop never abandons an op, which keeps the answered-op count exact for
+//! throughput arithmetic.
+
+use std::time::{Duration, Instant};
+
+use ha_bitcode::BinaryCode;
+use ha_service::{HaServe, ServiceError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients (threads).
+    pub clients: usize,
+    /// Selects each client issues.
+    pub ops_per_client: usize,
+    /// Hamming radius of every select.
+    pub radius: u32,
+    /// Base seed; client `i` draws from `seed ^ i`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 8,
+            ops_per_client: 200,
+            radius: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// What a run did, measured at the generator (the service keeps its own
+/// counters in `ServeMetrics`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadReport {
+    /// Selects answered (always `clients * ops_per_client`).
+    pub answered: usize,
+    /// Result ids received in total (sanity signal: must not vary run to
+    /// run for a fixed dataset and workload).
+    pub ids_received: usize,
+    /// Admission-control rejections that were retried.
+    pub rejections_retried: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Answered selects per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.answered as f64 / secs
+        }
+    }
+}
+
+/// Runs the closed loop against `serve`, drawing queries from `pool`.
+///
+/// # Panics
+/// If `pool` is empty or a select fails for a reason other than
+/// [`ServiceError::Overloaded`] (the load generator is test harness
+/// code — a mid-run shutdown is a bug, not a condition to handle).
+pub fn closed_loop(serve: &HaServe, pool: &[BinaryCode], cfg: &LoadConfig) -> LoadReport {
+    assert!(!pool.is_empty(), "query pool is empty");
+    let started = Instant::now();
+    let mut per_client: Vec<(usize, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ client as u64);
+                    let mut ids = 0usize;
+                    let mut retried = 0usize;
+                    for _ in 0..cfg.ops_per_client {
+                        let q = &pool[rng.gen_range(0..pool.len())];
+                        loop {
+                            match serve.select(q, cfg.radius) {
+                                Ok(found) => {
+                                    ids += found.len();
+                                    break;
+                                }
+                                Err(ServiceError::Overloaded { .. }) => {
+                                    retried += 1;
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("select failed mid-run: {e}"),
+                            }
+                        }
+                    }
+                    (ids, retried)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(pair) => per_client.push(pair),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    LoadReport {
+        answered: cfg.clients * cfg.ops_per_client,
+        ids_received: per_client.iter().map(|&(ids, _)| ids).sum(),
+        rejections_retried: per_client.iter().map(|&(_, r)| r).sum(),
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ha_core::TupleId;
+    use ha_service::ServeConfig;
+
+    fn dataset(n: usize, len: usize, seed: u64) -> Vec<(BinaryCode, TupleId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (BinaryCode::random(len, &mut rng), i as TupleId))
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_answers_every_op_deterministically() {
+        let data = dataset(200, 24, 7);
+        let pool: Vec<BinaryCode> = data.iter().take(32).map(|(c, _)| c.clone()).collect();
+        let cfg = LoadConfig {
+            clients: 4,
+            ops_per_client: 25,
+            radius: 2,
+            seed: 99,
+        };
+        let mut totals = Vec::new();
+        for _ in 0..2 {
+            let serve = HaServe::build(24, data.clone(), ServeConfig::default()).unwrap();
+            let report = closed_loop(&serve, &pool, &cfg);
+            assert_eq!(report.answered, 100);
+            assert_eq!(serve.metrics().selects, 100);
+            totals.push(report.ids_received);
+        }
+        assert_eq!(
+            totals[0], totals[1],
+            "same seed + same data must receive the same answer ids"
+        );
+    }
+
+    #[test]
+    fn throughput_is_ops_over_elapsed() {
+        let r = LoadReport {
+            answered: 500,
+            elapsed: Duration::from_secs(2),
+            ..LoadReport::default()
+        };
+        assert!((r.throughput() - 250.0).abs() < 1e-9);
+        assert_eq!(LoadReport::default().throughput(), 0.0);
+    }
+}

@@ -55,12 +55,12 @@ pub(super) fn h_insert(idx: &mut DynamicHaIndex, code: BinaryCode, id: TupleId) 
         idx.code_len = code.len();
     }
     assert_eq!(code.len(), idx.code_len, "code length mismatch");
+    idx.epoch += 1;
     // Fast path: the code already has a leaf — extend it and bump
     // frequencies along its path.
     if idx.config.keep_leaf_ids {
         if let Some(&leaf) = idx.leaves.get(&code) {
-            let path =
-                path_to_leaf(idx, leaf, &code).expect("leaf map entry must be reachable");
+            let path = path_to_leaf(idx, leaf, &code).expect("leaf map entry must be reachable");
             for nid in path {
                 idx.nodes[nid as usize].frequency += 1;
             }
@@ -91,16 +91,14 @@ pub(super) fn flush_buffer(idx: &mut DynamicHaIndex) {
     let pending = std::mem::take(&mut idx.buffer);
     let mini = DynamicHaIndex::build_with(pending, idx.config.clone());
     super::merge::merge_into(idx, mini);
+    idx.epoch += 1;
 }
 
 pub(super) fn h_delete(idx: &mut DynamicHaIndex, code: &BinaryCode, id: TupleId) -> bool {
     // Buffered tuples are deleted from the buffer directly.
-    if let Some(pos) = idx
-        .buffer
-        .iter()
-        .position(|(c, i)| *i == id && c == code)
-    {
+    if let Some(pos) = idx.buffer.iter().position(|(c, i)| *i == id && c == code) {
         idx.buffer.swap_remove(pos);
+        idx.epoch += 1;
         return true;
     }
     let Some(&leaf) = idx.leaves.get(code) else {
@@ -119,9 +117,14 @@ pub(super) fn h_delete(idx: &mut DynamicHaIndex, code: &BinaryCode, id: TupleId)
         idx.nodes[nid as usize].frequency -= 1;
     }
     let data = idx.nodes[leaf as usize].leaf.as_mut().expect("leaf node");
-    let pos = data.ids.iter().position(|&x| x == id).expect("checked above");
+    let pos = data
+        .ids
+        .iter()
+        .position(|&x| x == id)
+        .expect("checked above");
     data.ids.swap_remove(pos);
     idx.len -= 1;
+    idx.epoch += 1;
 
     // "If one node contains 0 or less entries, it is removed."
     if idx.nodes[leaf as usize].frequency == 0 {
@@ -215,10 +218,13 @@ mod tests {
     fn incremental_build_equals_bulk_build_results() {
         let data = random_dataset(150, 32, 83);
         let bulk = DynamicHaIndex::build(data.clone());
-        let mut inc = DynamicHaIndex::empty(32, DhaConfig {
-            insert_buffer_cap: 32,
-            ..DhaConfig::default()
-        });
+        let mut inc = DynamicHaIndex::empty(
+            32,
+            DhaConfig {
+                insert_buffer_cap: 32,
+                ..DhaConfig::default()
+            },
+        );
         for (c, id) in &data {
             inc.insert(c.clone(), *id);
         }

@@ -19,6 +19,7 @@ pub(super) fn merge_into(dst: &mut DynamicHaIndex, src: DynamicHaIndex) {
         dst.code_len = src.code_len;
     }
     assert_eq!(dst.code_len, src.code_len, "merging different code lengths");
+    dst.epoch += 1;
 
     // Graft the source arena onto the destination with an id offset.
     let offset = dst.nodes.len() as NodeId;

@@ -84,6 +84,12 @@ pub struct DynamicHaIndex {
     pub(crate) buffer: Vec<(BinaryCode, TupleId)>,
     pub(crate) config: DhaConfig,
     pub(crate) len: usize,
+    /// Mutation epoch: bumped by every successful H-Insert / H-Delete /
+    /// buffer flush / merge. Serving layers key result-cache validity on
+    /// this counter — two searches at the same epoch are guaranteed to see
+    /// the same result set, so a cached answer tagged with the epoch it
+    /// was computed at can be reused exactly until the next mutation.
+    pub(crate) epoch: u64,
 }
 
 impl DynamicHaIndex {
@@ -110,12 +116,48 @@ impl DynamicHaIndex {
             buffer: Vec::new(),
             config,
             len: 0,
+            epoch: 0,
         }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &DhaConfig {
         &self.config
+    }
+
+    /// Mutation epoch of the index: 0 at construction, incremented by every
+    /// successful [`MutableIndex::insert`] / [`MutableIndex::delete`],
+    /// buffer [`flush`](DynamicHaIndex::flush), and
+    /// [`merge_from`](DynamicHaIndex::merge_from). Searches at equal epochs
+    /// observe identical contents, which is what makes epoch-tagged result
+    /// caching (the HA-Serve layer) exact rather than best-effort.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates every stored `(code, id)` pair: the leaf id lists plus the
+    /// insert buffer. Yields nothing useful for a leafless index (Option B
+    /// drops the ids) — callers re-sharding an index should check
+    /// [`DhaConfig::keep_leaf_ids`] first.
+    pub fn items(&self) -> impl Iterator<Item = (BinaryCode, TupleId)> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| n.leaf.as_ref())
+            .flat_map(|leaf| leaf.ids.iter().map(move |&id| (leaf.code.clone(), id)))
+            .chain(self.buffer.iter().cloned())
+    }
+
+    /// Shared-frontier batched H-Search: answers every query of the batch
+    /// in **one** traversal of the forest. Each BFS entry carries the set
+    /// of queries still alive at that node, so a node's pattern is fetched
+    /// and its children iterated once per *batch* instead of once per
+    /// query — the serving-layer analogue of the paper's "one masked
+    /// Hamming computation verifies many tuples" amortization. Returns,
+    /// per query (by position), the qualifying ids, in the same set as
+    /// [`HammingIndex::search`] would produce query by query.
+    pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        search::h_batch_search(self, queries, h)
     }
 
     /// Number of live internal (non-leaf) nodes — |V| of the §4.7 analysis.

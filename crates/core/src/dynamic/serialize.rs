@@ -323,6 +323,7 @@ impl DynamicHaIndex {
                 ..config
             },
             len: len_total,
+            epoch: 0,
         };
         // Structural validation (disjoint masks, full coverage, code
         // reconstruction) — a corrupted blob must not produce an index

@@ -1,0 +1,162 @@
+//! The epoch-validated result cache.
+//!
+//! Entries are keyed by `(query code, radius)` and tagged with the
+//! **mutation epoch** the answer was computed at. The serving layer bumps
+//! a global epoch on every successful H-Insert / H-Delete, and a lookup
+//! only hits when the entry's epoch equals the *current* epoch — so a
+//! cached answer can never be stale: equal epochs mean zero intervening
+//! mutations, which means the index contents (and therefore the exact
+//! result set) are unchanged. Invalidation is coarse (one mutation
+//! invalidates everything) but exact, which is the contract the
+//! correctness tests hold the service to.
+//!
+//! Capacity eviction is FIFO by insertion order; stale-epoch entries are
+//! dropped lazily on lookup and do not count as evictions.
+
+use std::collections::{HashMap, VecDeque};
+
+use ha_bitcode::BinaryCode;
+use ha_core::TupleId;
+
+struct CacheEntry {
+    /// Epoch the answer was computed at; a hit requires equality with the
+    /// caller's current epoch.
+    epoch: u64,
+    /// The (sorted) answer.
+    ids: Vec<TupleId>,
+}
+
+/// A bounded FIFO map from `(code, radius)` to an epoch-tagged answer.
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<(BinaryCode, u32), CacheEntry>,
+    /// Insertion order of live keys (may briefly hold keys already
+    /// replaced; eviction skips keys no longer present).
+    order: VecDeque<(BinaryCode, u32)>,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` answers. Capacity 0 disables
+    /// caching entirely (every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the answer for `(code, h)` computed at `current_epoch`.
+    /// An entry tagged with an older epoch is removed (a mutation happened
+    /// since it was cached) and reported as a miss.
+    pub fn get(&mut self, code: &BinaryCode, h: u32, current_epoch: u64) -> Option<Vec<TupleId>> {
+        let key = (code.clone(), h);
+        match self.map.get(&key) {
+            Some(entry) if entry.epoch == current_epoch => Some(entry.ids.clone()),
+            Some(_) => {
+                self.map.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Stores an answer computed at `epoch`, evicting the oldest entry if
+    /// the cache is full. Re-inserting an existing key replaces its entry
+    /// in place (the key keeps its original FIFO position).
+    pub fn insert(&mut self, code: BinaryCode, h: u32, epoch: u64, ids: Vec<TupleId>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (code, h);
+        if self.map.insert(key.clone(), CacheEntry { epoch, ids }).is_some() {
+            return;
+        }
+        self.order.push_back(key);
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                return;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries displaced by the capacity bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(v: u64) -> BinaryCode {
+        BinaryCode::from_u64(v, 16)
+    }
+
+    #[test]
+    fn hit_requires_matching_epoch() {
+        let mut c = ResultCache::new(8);
+        c.insert(code(5), 2, 7, vec![1, 2]);
+        assert_eq!(c.get(&code(5), 2, 7), Some(vec![1, 2]));
+        // A mutation bumped the epoch: the entry must not serve, and it is
+        // purged so the slot frees up.
+        assert_eq!(c.get(&code(5), 2, 8), None);
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 0, "stale purge is not a capacity eviction");
+    }
+
+    #[test]
+    fn radius_is_part_of_the_key() {
+        let mut c = ResultCache::new(8);
+        c.insert(code(5), 2, 0, vec![1]);
+        assert_eq!(c.get(&code(5), 3, 0), None);
+        assert_eq!(c.get(&code(5), 2, 0), Some(vec![1]));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(code(1), 0, 0, vec![1]);
+        c.insert(code(2), 0, 0, vec![2]);
+        c.insert(code(3), 0, 0, vec![3]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(&code(1), 0, 0), None, "oldest entry evicted");
+        assert_eq!(c.get(&code(2), 0, 0), Some(vec![2]));
+        assert_eq!(c.get(&code(3), 0, 0), Some(vec![3]));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_growing() {
+        let mut c = ResultCache::new(2);
+        c.insert(code(1), 0, 0, vec![1]);
+        c.insert(code(1), 0, 4, vec![9]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&code(1), 0, 4), Some(vec![9]));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(code(1), 0, 0, vec![1]);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&code(1), 0, 0), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Typed serving errors. Like the `try_*` layers of `ha-mapreduce`, the
+//! service never panics on recoverable conditions: overload, shutdown,
+//! malformed requests, and storage/decoding failures all surface here.
+
+use std::fmt;
+
+use ha_core::dynamic::DecodeError;
+use ha_mapreduce::DfsError;
+
+/// Why a serving operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission controller rejected the request: the bounded request
+    /// queue was full. Back off and retry — nothing was enqueued.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is shutting down (or shut down while the request was
+    /// in flight); no answer will be produced.
+    Shutdown,
+    /// The query/insert code length does not match the served index.
+    WrongCodeLength {
+        /// Code length the service was built for.
+        expected: usize,
+        /// Code length of the offending request.
+        got: usize,
+    },
+    /// The index (or configuration) is leafless — Option B of the
+    /// MapReduce join drops the tuple-id lists, so there is nothing to
+    /// serve ids from.
+    Leafless,
+    /// The index blob could not be read back from the DFS.
+    Storage(DfsError),
+    /// The index blob was read but failed wire-format decoding (bad
+    /// magic, truncation, checksum mismatch, or structural corruption).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { capacity } => {
+                write!(f, "service overloaded: request queue full ({capacity} pending)")
+            }
+            ServiceError::Shutdown => write!(f, "service is shut down"),
+            ServiceError::WrongCodeLength { expected, got } => {
+                write!(f, "code length mismatch: index serves {expected}-bit codes, got {got}")
+            }
+            ServiceError::Leafless => {
+                write!(f, "index is leafless (no tuple-id lists) — cannot serve ids")
+            }
+            ServiceError::Storage(e) => write!(f, "index load failed: {e}"),
+            ServiceError::Decode(e) => write!(f, "index blob rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Storage(e) => Some(e),
+            ServiceError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfsError> for ServiceError {
+    fn from(e: DfsError) -> Self {
+        ServiceError::Storage(e)
+    }
+}
+
+impl From<DecodeError> for ServiceError {
+    fn from(e: DecodeError) -> Self {
+        ServiceError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::Overloaded { capacity: 8 };
+        assert!(e.to_string().contains("overloaded"));
+        let e = ServiceError::WrongCodeLength { expected: 32, got: 64 };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("64"));
+        let e: ServiceError = DecodeError::BadMagic.into();
+        assert!(matches!(e, ServiceError::Decode(DecodeError::BadMagic)));
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn storage_errors_convert_and_chain() {
+        use std::error::Error;
+        let e: ServiceError = DfsError::FileNotFound { path: "/idx".into() }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/idx"));
+    }
+}

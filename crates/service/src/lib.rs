@@ -1,0 +1,37 @@
+//! # ha-service — HA-Serve, the online query-serving layer
+//!
+//! The MapReduce pipeline (ha-distributed) builds the **global HA-Index**
+//! offline and persists it through the replicated DFS; this crate is the
+//! other half of that lifecycle: a long-lived, multi-threaded service
+//! that loads the index into hash-partitioned shards and answers
+//! Hamming-selects and kNN-selects online.
+//!
+//! The serving tricks are the paper's batch-amortization ideas applied at
+//! query time instead of join time:
+//!
+//! * **Micro-batching** ([`ServeConfig::max_batch`]): queued selects with
+//!   the same radius are answered by one shared-frontier H-Search per
+//!   shard — the forest is walked once per batch, exactly as the
+//!   MapReduce join walks it once per partition of R.
+//! * **Admission control** ([`ServeConfig::queue_capacity`]): the request
+//!   queue is bounded and overflow is a typed
+//!   [`ServiceError::Overloaded`], never an unbounded backlog.
+//! * **Epoch-validated result cache** ([`ServeConfig::cache_capacity`]):
+//!   H-Insert / H-Delete bump a global mutation epoch; cached answers
+//!   are only served at the exact epoch they were computed at, so hits
+//!   are provably identical to re-running the search.
+//!
+//! [`ServeMetrics`] exposes what happened — throughput, batch-size
+//! distribution, cache hits/misses/evictions, admission rejections, and
+//! per-shard latency histograms — in the style of the MapReduce layer's
+//! `JobMetrics`.
+
+mod cache;
+mod error;
+mod metrics;
+mod service;
+
+pub use cache::ResultCache;
+pub use error::ServiceError;
+pub use metrics::{LatencyHistogram, ServeMetrics, ShardMetrics};
+pub use service::{HaServe, KnnTicket, SelectTicket, ServeConfig};

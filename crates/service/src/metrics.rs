@@ -1,0 +1,237 @@
+//! Serving metrics, in the spirit of `JobMetrics`/`DfsMetrics`: what the
+//! service *did* (selects, kNNs, mutations), what the micro-batcher
+//! amortized (batch-size distribution), what the cache saved (hits vs
+//! misses vs evictions), what admission control refused (rejections), and
+//! how long shard probes took (per-shard latency histograms).
+
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^{i+1})` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// A fixed-size log₂ latency histogram. Recording is O(1) and lock-cheap
+/// (one array increment); quantiles are read off the cumulative counts
+/// and reported as the upper bound of the containing bucket, so they
+/// never under-state a latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    // [u64; 40] has no derived Default (arrays cap at 32).
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; BUCKETS] }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample. Sub-nanosecond (zero) durations land in the
+    /// first bucket.
+    pub fn record(&mut self, sample: Duration) {
+        let ns = (sample.as_nanos() as u64).max(1);
+        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[bucket] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), as the upper bound of the
+    /// bucket containing that rank. [`Duration::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos((2u64 << i) - 1);
+            }
+        }
+        Duration::ZERO
+    }
+
+    /// Folds another histogram into this one (cross-shard aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-shard serving statistics.
+#[derive(Clone, Debug, Default)]
+pub struct ShardMetrics {
+    /// Batch probes executed against this shard (each answers a whole
+    /// micro-batch in one traversal).
+    pub searches: u64,
+    /// Tuples resident in the shard at snapshot time.
+    pub items: usize,
+    /// Latency of this shard's batch probes.
+    pub latency: LatencyHistogram,
+}
+
+/// A point-in-time snapshot of everything the service has done, returned
+/// by `HaServe::metrics`. Counters are cumulative since service start.
+#[derive(Clone, Debug, Default)]
+pub struct ServeMetrics {
+    /// Hamming-select queries answered (cache hits included).
+    pub selects: u64,
+    /// kNN-select queries answered.
+    pub knns: u64,
+    /// Successful H-Inserts applied.
+    pub inserts: u64,
+    /// Successful H-Deletes applied (misses are not counted).
+    pub deletes: u64,
+    /// Selects answered straight from the epoch-validated result cache.
+    pub cache_hits: u64,
+    /// Selects that had to run H-Search.
+    pub cache_misses: u64,
+    /// Cache entries displaced by the capacity bound (stale-epoch
+    /// invalidations are not evictions — they are correctness, not
+    /// pressure).
+    pub cache_evictions: u64,
+    /// Requests refused by admission control (queue full).
+    pub rejected: u64,
+    /// Micro-batches that actually executed a shard probe (fully
+    /// cache-answered groups form no batch).
+    pub batches_formed: u64,
+    /// Batch-size distribution: `(size, batches of that size)`, sorted by
+    /// size ascending.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Per-shard probe counts and latency histograms.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Wall-clock since the service started.
+    pub elapsed: Duration,
+}
+
+impl ServeMetrics {
+    /// Queries answered (selects + kNNs).
+    pub fn answered(&self) -> u64 {
+        self.selects + self.knns
+    }
+
+    /// Queries answered per second of service lifetime.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.answered() as f64 / secs
+        }
+    }
+
+    /// Mean number of queries per executed micro-batch (1.0 with no
+    /// batching benefit; higher means the shared frontier amortized more).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: u64 = self.batch_sizes.iter().map(|&(_, c)| c).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let queries: u64 = self.batch_sizes.iter().map(|&(s, c)| s as u64 * c).sum();
+        queries as f64 / batches as f64
+    }
+
+    /// Fraction of selects served from cache (0.0 with no selects).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let looked = self.cache_hits + self.cache_misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked as f64
+        }
+    }
+
+    /// Latency histogram aggregated across all shards.
+    pub fn total_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for s in &self.per_shard {
+            h.merge(&s.latency);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(0)); // clamps into the first bucket
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(1024));
+        assert_eq!(h.count(), 4);
+        // Quantiles are bucket upper bounds and monotone in q.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(1));
+        assert_eq!(h.quantile(0.75), Duration::from_nanos(3));
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(2047));
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn huge_samples_saturate_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(100_000));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) >= Duration::from_secs(500));
+    }
+
+    #[test]
+    fn derived_rates() {
+        let m = ServeMetrics {
+            selects: 90,
+            knns: 10,
+            cache_hits: 30,
+            cache_misses: 60,
+            batch_sizes: vec![(1, 20), (4, 10)],
+            elapsed: Duration::from_secs(2),
+            ..ServeMetrics::default()
+        };
+        assert_eq!(m.answered(), 100);
+        assert!((m.throughput() - 50.0).abs() < 1e-9);
+        // (1*20 + 4*10) / 30 batches = 2.0
+        assert!((m.mean_batch_size() - 2.0).abs() < 1e-9);
+        assert!((m.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_rates_are_zero() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.mean_batch_size(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        assert_eq!(m.total_latency().count(), 0);
+    }
+}

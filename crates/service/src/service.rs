@@ -1,0 +1,954 @@
+//! HA-Serve: the concurrent, sharded query service.
+//!
+//! The global HA-Index (built offline by the MapReduce pipeline and
+//! persisted through the replicated DFS) is loaded into `shards`
+//! partitions, each behind a reader–writer lock. Queries fan out to every
+//! shard (codes are partitioned by hash, so any code within distance `h`
+//! of a query may live anywhere) and the per-shard answers are unioned —
+//! exact, because the shards hold disjoint code sets.
+//!
+//! Three serving mechanisms ride on top of plain H-Search:
+//!
+//! * **Micro-batching** — queued selects with the same radius are grouped
+//!   and answered by one *shared-frontier* batched H-Search per shard
+//!   ([`DynamicHaIndex::batch_search`]): the forest is traversed once per
+//!   batch instead of once per query, the serving-time analogue of the
+//!   paper's "one masked computation verifies many tuples" amortization.
+//! * **Admission control** — the request queue is bounded; a full queue
+//!   rejects with [`ServiceError::Overloaded`] instead of queueing
+//!   without bound.
+//! * **Epoch-validated result caching** — every successful H-Insert /
+//!   H-Delete bumps a global epoch *while holding the mutated shard's
+//!   write lock*; cached answers are tagged with the epoch they were
+//!   computed at and only served back at that exact epoch, so a cache
+//!   hit is provably identical to re-running the search.
+//!
+//! With `workers == 0` the service runs in manual-drive mode: nothing is
+//! processed until [`HaServe::pump`] is called, which makes overload and
+//! scheduling behaviour exactly reproducible in tests.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ha_bitcode::BinaryCode;
+use ha_core::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
+use ha_mapreduce::checksum::fnv64;
+use ha_mapreduce::InMemoryDfs;
+use parking_lot::{Mutex, RwLock};
+
+use crate::cache::ResultCache;
+use crate::error::ServiceError;
+use crate::metrics::{LatencyHistogram, ServeMetrics, ShardMetrics};
+
+/// Tuning knobs of the serving layer.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Index shards the dataset is hash-partitioned across. Queries probe
+    /// all of them; mutations lock only the owning one.
+    pub shards: usize,
+    /// Worker threads draining the request queue. `0` = manual-drive
+    /// mode: requests queue up until [`HaServe::pump`] processes them on
+    /// the calling thread (deterministic tests, overload experiments).
+    pub workers: usize,
+    /// Bound of the request queue; a full queue rejects new requests
+    /// with [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest micro-batch one worker will assemble from same-radius
+    /// queued selects. `1` disables batching.
+    pub max_batch: usize,
+    /// Result-cache capacity in entries; `0` disables the cache.
+    pub cache_capacity: usize,
+    /// HA-Index construction parameters for the shards. `keep_leaf_ids`
+    /// must stay `true` — the service answers with tuple ids.
+    pub dha: DhaConfig,
+    /// Seed for the deterministic shard probe rotation (spreads which
+    /// shard is probed first across batches).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            workers: 4,
+            queue_capacity: 1024,
+            max_batch: 64,
+            cache_capacity: 4096,
+            dha: DhaConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Shard owning `code` under FNV-1a hash partitioning.
+fn owner(code: &BinaryCode, shards: usize) -> usize {
+    (fnv64(&code.to_packed_bytes()) % shards as u64) as usize
+}
+
+/// A queued request.
+enum Work {
+    Select {
+        code: BinaryCode,
+        h: u32,
+        tx: mpsc::Sender<Vec<TupleId>>,
+    },
+    Knn {
+        code: BinaryCode,
+        k: usize,
+        tx: mpsc::Sender<Vec<(TupleId, u32)>>,
+    },
+}
+
+/// A batch a worker pulled off the queue: either one kNN or a group of
+/// same-radius selects.
+enum Batch {
+    Select {
+        h: u32,
+        codes: Vec<BinaryCode>,
+        txs: Vec<mpsc::Sender<Vec<TupleId>>>,
+    },
+    Knn {
+        code: BinaryCode,
+        k: usize,
+        tx: mpsc::Sender<Vec<(TupleId, u32)>>,
+    },
+}
+
+/// Pops the next batch: the frontmost request, plus (for selects) every
+/// other queued select with the same radius, up to `max_batch`. Scanning
+/// the whole queue keeps batches dense under mixed-radius load while
+/// preserving FIFO order *within* a radius class.
+fn take_batch(queue: &mut VecDeque<Work>, max_batch: usize) -> Option<Batch> {
+    match queue.pop_front()? {
+        Work::Knn { code, k, tx } => Some(Batch::Knn { code, k, tx }),
+        Work::Select { code, h, tx } => {
+            let mut codes = vec![code];
+            let mut txs = vec![tx];
+            let mut i = 0;
+            while i < queue.len() && codes.len() < max_batch.max(1) {
+                let same = matches!(queue.get(i), Some(Work::Select { h: qh, .. }) if *qh == h);
+                if same {
+                    if let Some(Work::Select { code, tx, .. }) = queue.remove(i) {
+                        codes.push(code);
+                        txs.push(tx);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            Some(Batch::Select { h, codes, txs })
+        }
+    }
+}
+
+/// Mutable counters behind one lock; folded into [`ServeMetrics`]
+/// snapshots.
+struct MetricsState {
+    selects: u64,
+    knns: u64,
+    inserts: u64,
+    deletes: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    rejected: u64,
+    batches_formed: u64,
+    batch_sizes: BTreeMap<usize, u64>,
+    shard_searches: Vec<u64>,
+    shard_latency: Vec<LatencyHistogram>,
+}
+
+impl MetricsState {
+    fn new(shards: usize) -> Self {
+        MetricsState {
+            selects: 0,
+            knns: 0,
+            inserts: 0,
+            deletes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            rejected: 0,
+            batches_formed: 0,
+            batch_sizes: BTreeMap::new(),
+            shard_searches: vec![0; shards],
+            shard_latency: vec![LatencyHistogram::new(); shards],
+        }
+    }
+}
+
+struct Inner {
+    code_len: usize,
+    shards: Vec<RwLock<DynamicHaIndex>>,
+    /// Global mutation epoch. Bumped while holding the mutated shard's
+    /// write lock, so a reader holding *all* shard read locks observes a
+    /// frozen epoch — the invariant the result cache's exactness rests
+    /// on.
+    epoch: AtomicU64,
+    queue: StdMutex<VecDeque<Work>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cache: Mutex<ResultCache>,
+    state: Mutex<MetricsState>,
+    started: Instant,
+    batch_seq: AtomicU64,
+    cfg: ServeConfig,
+}
+
+/// A pending Hamming-select; [`SelectTicket::wait`] blocks until a worker
+/// (or a [`HaServe::pump`] call) answers it.
+#[derive(Debug)]
+pub struct SelectTicket {
+    rx: mpsc::Receiver<Vec<TupleId>>,
+}
+
+impl SelectTicket {
+    /// Blocks for the answer: all ids within the requested radius, sorted
+    /// ascending.
+    pub fn wait(self) -> Result<Vec<TupleId>, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Shutdown)
+    }
+}
+
+/// A pending kNN-select.
+#[derive(Debug)]
+pub struct KnnTicket {
+    rx: mpsc::Receiver<Vec<(TupleId, u32)>>,
+}
+
+impl KnnTicket {
+    /// Blocks for the answer: the `k` nearest `(id, distance)` pairs,
+    /// ordered by `(distance, id)`.
+    pub fn wait(self) -> Result<Vec<(TupleId, u32)>, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Shutdown)
+    }
+}
+
+/// The serving handle. Dropping it shuts the workers down after draining
+/// the queue (every accepted request is answered).
+pub struct HaServe {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HaServe {
+    /// Builds a service over `items`, hash-partitioned into
+    /// `cfg.shards` HA-Index shards (H-Build per shard).
+    pub fn build(
+        code_len: usize,
+        items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+        cfg: ServeConfig,
+    ) -> Result<HaServe, ServiceError> {
+        if !cfg.dha.keep_leaf_ids {
+            return Err(ServiceError::Leafless);
+        }
+        let nshards = cfg.shards.max(1);
+        let mut parts: Vec<Vec<(BinaryCode, TupleId)>> = vec![Vec::new(); nshards];
+        for (code, id) in items {
+            if code.len() != code_len {
+                return Err(ServiceError::WrongCodeLength {
+                    expected: code_len,
+                    got: code.len(),
+                });
+            }
+            parts[owner(&code, nshards)].push((code, id));
+        }
+        let shards: Vec<RwLock<DynamicHaIndex>> = parts
+            .into_iter()
+            .map(|p| {
+                RwLock::new(if p.is_empty() {
+                    DynamicHaIndex::empty(code_len, cfg.dha.clone())
+                } else {
+                    DynamicHaIndex::build_with(p, cfg.dha.clone())
+                })
+            })
+            .collect();
+
+        let inner = Arc::new(Inner {
+            code_len,
+            state: Mutex::new(MetricsState::new(shards.len())),
+            shards,
+            epoch: AtomicU64::new(0),
+            queue: StdMutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
+            started: Instant::now(),
+            batch_seq: AtomicU64::new(0),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(HaServe { inner, workers })
+    }
+
+    /// Loads the global HA-Index from its DFS blob(s) — the artifact the
+    /// MapReduce pipeline persists — verifying both the DFS block
+    /// checksums (read path) and the blob's own FNV-1a footer (decode
+    /// path), then re-shards the tuples across `cfg.shards` and starts
+    /// serving.
+    pub fn load_from_dfs(
+        dfs: &InMemoryDfs,
+        path: &str,
+        cfg: ServeConfig,
+    ) -> Result<HaServe, ServiceError> {
+        if !cfg.dha.keep_leaf_ids {
+            return Err(ServiceError::Leafless);
+        }
+        let blobs = dfs.try_get::<Vec<u8>>(path)?;
+        let mut parts = Vec::new();
+        for blob in &blobs {
+            parts.push(DynamicHaIndex::from_bytes(blob, cfg.dha.clone())?);
+        }
+        let Some(first) = parts.pop() else {
+            return Err(ServiceError::Storage(ha_mapreduce::DfsError::FileNotFound {
+                path: path.to_string(),
+            }));
+        };
+        let mut global = first;
+        for p in parts {
+            global.merge_from(p);
+        }
+        let code_len = global.code_len();
+        let items: Vec<(BinaryCode, TupleId)> = global.items().collect();
+        Self::build(code_len, items, cfg)
+    }
+
+    /// Code length this service answers queries for.
+    pub fn code_len(&self) -> usize {
+        self.inner.code_len
+    }
+
+    /// Number of index shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Tuples resident across all shards.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current global mutation epoch (0 at start; +1 per applied
+    /// mutation).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Shard that owns `code` under the hash partitioning.
+    pub fn shard_of(&self, code: &BinaryCode) -> usize {
+        owner(code, self.inner.shards.len())
+    }
+
+    fn check_len(&self, code: &BinaryCode) -> Result<(), ServiceError> {
+        if code.len() != self.inner.code_len {
+            return Err(ServiceError::WrongCodeLength {
+                expected: self.inner.code_len,
+                got: code.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn enqueue(&self, work: Work) -> Result<(), ServiceError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::Shutdown);
+        }
+        {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if q.len() >= self.inner.cfg.queue_capacity {
+                drop(q);
+                self.inner.state.lock().rejected += 1;
+                return Err(ServiceError::Overloaded {
+                    capacity: self.inner.cfg.queue_capacity,
+                });
+            }
+            q.push_back(work);
+        }
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a Hamming-select (Definition 1) without waiting; the
+    /// returned ticket resolves once a worker answers the batch it lands
+    /// in.
+    pub fn submit_select(&self, code: &BinaryCode, h: u32) -> Result<SelectTicket, ServiceError> {
+        self.check_len(code)?;
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(Work::Select {
+            code: code.clone(),
+            h,
+            tx,
+        })?;
+        Ok(SelectTicket { rx })
+    }
+
+    /// Enqueues a kNN-select without waiting.
+    pub fn submit_knn(&self, code: &BinaryCode, k: usize) -> Result<KnnTicket, ServiceError> {
+        self.check_len(code)?;
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(Work::Knn {
+            code: code.clone(),
+            k,
+            tx,
+        })?;
+        Ok(KnnTicket { rx })
+    }
+
+    /// Hamming-select, blocking: all ids within distance `h` of `code`,
+    /// sorted ascending. In manual-drive mode (`workers == 0`) the queue
+    /// is pumped on the calling thread.
+    pub fn select(&self, code: &BinaryCode, h: u32) -> Result<Vec<TupleId>, ServiceError> {
+        let ticket = self.submit_select(code, h)?;
+        if self.inner.cfg.workers == 0 {
+            self.pump_all();
+        }
+        ticket.wait()
+    }
+
+    /// kNN-select, blocking: the `k` nearest `(id, distance)` pairs
+    /// ordered by `(distance, id)`, found by doubling-radius H-Search
+    /// expansion.
+    pub fn knn(&self, code: &BinaryCode, k: usize) -> Result<Vec<(TupleId, u32)>, ServiceError> {
+        let ticket = self.submit_knn(code, k)?;
+        if self.inner.cfg.workers == 0 {
+            self.pump_all();
+        }
+        ticket.wait()
+    }
+
+    /// Applies one H-Insert to the owning shard and bumps the mutation
+    /// epoch (invalidating the result cache).
+    pub fn insert(&self, code: BinaryCode, id: TupleId) -> Result<(), ServiceError> {
+        self.check_len(&code)?;
+        let s = owner(&code, self.inner.shards.len());
+        {
+            let mut idx = self.inner.shards[s].write();
+            idx.insert(code, id);
+            self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        self.inner.state.lock().inserts += 1;
+        Ok(())
+    }
+
+    /// Applies one H-Delete to the owning shard; returns whether the pair
+    /// was present. Only a successful delete bumps the epoch.
+    pub fn delete(&self, code: &BinaryCode, id: TupleId) -> Result<bool, ServiceError> {
+        self.check_len(code)?;
+        let s = owner(code, self.inner.shards.len());
+        let removed = {
+            let mut idx = self.inner.shards[s].write();
+            let removed = idx.delete(code, id);
+            if removed {
+                self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            removed
+        };
+        if removed {
+            self.inner.state.lock().deletes += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Processes one pending batch on the calling thread; returns whether
+    /// there was anything to do. The manual-drive counterpart of the
+    /// worker loop.
+    pub fn pump(&self) -> bool {
+        let batch = {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            take_batch(&mut q, self.inner.cfg.max_batch)
+        };
+        match batch {
+            Some(b) => {
+                self.inner.process(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pumps until the queue is empty; returns the number of batches
+    /// processed.
+    pub fn pump_all(&self) -> usize {
+        let mut n = 0;
+        while self.pump() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Pending (accepted, unanswered) requests.
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Snapshot of the serving counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        let shard_items: Vec<usize> = self.inner.shards.iter().map(|s| s.read().len()).collect();
+        let cache_evictions = self.inner.cache.lock().evictions();
+        let st = self.inner.state.lock();
+        let per_shard = shard_items
+            .into_iter()
+            .zip(st.shard_searches.iter())
+            .zip(st.shard_latency.iter())
+            .map(|((items, &searches), latency)| ShardMetrics {
+                searches,
+                items,
+                latency: *latency,
+            })
+            .collect();
+        ServeMetrics {
+            selects: st.selects,
+            knns: st.knns,
+            inserts: st.inserts,
+            deletes: st.deletes,
+            cache_hits: st.cache_hits,
+            cache_misses: st.cache_misses,
+            cache_evictions,
+            rejected: st.rejected,
+            batches_formed: st.batches_formed,
+            batch_sizes: st.batch_sizes.iter().map(|(&s, &c)| (s, c)).collect(),
+            per_shard,
+            elapsed: self.inner.started.elapsed(),
+        }
+    }
+}
+
+impl std::fmt::Debug for HaServe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HaServe")
+            .field("code_len", &self.inner.code_len)
+            .field("shards", &self.inner.shards.len())
+            .field("workers", &self.workers.len())
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for HaServe {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Manual-drive mode has no workers; answer what is left so no
+        // accepted ticket is dropped unresolved.
+        if self.inner.cfg.workers == 0 {
+            self.pump_all();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(b) = take_batch(&mut q, inner.cfg.max_batch) {
+                    break Some(b);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = inner
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match batch {
+            Some(b) => inner.process(b),
+            None => return,
+        }
+    }
+}
+
+impl Inner {
+    fn process(&self, batch: Batch) {
+        match batch {
+            Batch::Select { h, codes, txs } => self.process_select_batch(h, codes, txs),
+            Batch::Knn { code, k, tx } => self.process_knn(&code, k, tx),
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn process_select_batch(
+        &self,
+        h: u32,
+        codes: Vec<BinaryCode>,
+        txs: Vec<mpsc::Sender<Vec<TupleId>>>,
+    ) {
+        // Cache pass: answers computed at the current epoch serve
+        // directly; the rest form the executed batch.
+        let mut hit_replies: Vec<(mpsc::Sender<Vec<TupleId>>, Vec<TupleId>)> = Vec::new();
+        let mut miss_codes: Vec<BinaryCode> = Vec::new();
+        let mut miss_txs: Vec<mpsc::Sender<Vec<TupleId>>> = Vec::new();
+        {
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            let mut cache = self.cache.lock();
+            for (code, tx) in codes.into_iter().zip(txs) {
+                match cache.get(&code, h, epoch) {
+                    Some(ids) => hit_replies.push((tx, ids)),
+                    None => {
+                        miss_codes.push(code);
+                        miss_txs.push(tx);
+                    }
+                }
+            }
+        }
+
+        let mut merged: Vec<Vec<TupleId>> = Vec::new();
+        let mut probe_times: Vec<(usize, Duration)> = Vec::new();
+        if !miss_codes.is_empty() {
+            // Hold every shard read lock for the whole batch: mutations
+            // bump the epoch under a shard *write* lock, so the epoch is
+            // frozen here and the answers (and the cache entries tagged
+            // with it) describe one consistent index state.
+            let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+            let e0 = self.epoch.load(Ordering::SeqCst);
+            let nshards = guards.len();
+            let seq = self.batch_seq.fetch_add(1, Ordering::SeqCst);
+            let start = (self.cfg.seed.wrapping_add(seq) % nshards as u64) as usize;
+            merged = vec![Vec::new(); miss_codes.len()];
+            for off in 0..nshards {
+                let s = (start + off) % nshards;
+                let t0 = Instant::now();
+                let per_query = guards[s].batch_search(&miss_codes, h);
+                probe_times.push((s, t0.elapsed()));
+                for (qi, ids) in per_query.into_iter().enumerate() {
+                    merged[qi].extend(ids);
+                }
+            }
+            for ids in &mut merged {
+                ids.sort_unstable();
+            }
+            // Cache before replying (still under the read locks, so `e0`
+            // is still the current epoch): a closed-loop client that saw
+            // its answer is guaranteed its repeat query can hit.
+            let mut cache = self.cache.lock();
+            for (code, ids) in miss_codes.iter().zip(&merged) {
+                cache.insert(code.clone(), h, e0, ids.clone());
+            }
+        }
+
+        {
+            let mut st = self.state.lock();
+            st.selects += (hit_replies.len() + miss_codes.len()) as u64;
+            st.cache_hits += hit_replies.len() as u64;
+            st.cache_misses += miss_codes.len() as u64;
+            if !miss_codes.is_empty() {
+                st.batches_formed += 1;
+                *st.batch_sizes.entry(miss_codes.len()).or_insert(0) += 1;
+                for &(s, dt) in &probe_times {
+                    st.shard_searches[s] += 1;
+                    st.shard_latency[s].record(dt);
+                }
+            }
+        }
+
+        for (tx, ids) in hit_replies {
+            let _ = tx.send(ids);
+        }
+        for (tx, ids) in miss_txs.into_iter().zip(merged) {
+            let _ = tx.send(ids);
+        }
+    }
+
+    /// kNN by doubling-radius expansion: H-Search at growing radii until
+    /// at least `k` candidates qualify (or the radius covers the whole
+    /// code), then rank by `(distance, id)`. Exact distances come free
+    /// off the HA-Index path sums.
+    fn process_knn(&self, code: &BinaryCode, k: usize, tx: mpsc::Sender<Vec<(TupleId, u32)>>) {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        let k_eff = k.min(total);
+        let mut result: Vec<(TupleId, u32)> = Vec::new();
+        if k_eff > 0 {
+            let max_r = self.code_len as u32;
+            let mut r = 0u32;
+            loop {
+                let mut cands: Vec<(TupleId, u32)> = Vec::new();
+                for g in &guards {
+                    cands.extend(g.search_with_distances(code, r));
+                }
+                if cands.len() >= k_eff || r >= max_r {
+                    cands.sort_unstable_by_key(|&(id, d)| (d, id));
+                    cands.truncate(k_eff);
+                    result = cands;
+                    break;
+                }
+                r = (r.max(1)).saturating_mul(2).min(max_r);
+            }
+        }
+        drop(guards);
+        self.state.lock().knns += 1;
+        let _ = tx.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ha_core::LinearScanIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, len: usize, seed: u64) -> Vec<(BinaryCode, TupleId)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| (BinaryCode::random(len, &mut rng), i as TupleId))
+            .collect()
+    }
+
+    fn oracle(data: &[(BinaryCode, TupleId)], q: &BinaryCode, h: u32) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = data
+            .iter()
+            .filter(|(c, _)| c.hamming(q) <= h)
+            .map(|&(_, id)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn select_matches_linear_oracle() {
+        let data = dataset(300, 32, 11);
+        let serve = HaServe::build(32, data.clone(), ServeConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for h in [0, 2, 5, 9] {
+            let q = BinaryCode::random(32, &mut rng);
+            assert_eq!(serve.select(&q, h).unwrap(), oracle(&data, &q, h), "h={h}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_index() {
+        let data = dataset(200, 24, 21);
+        let serve = HaServe::build(24, data.clone(), ServeConfig::default()).unwrap();
+        let lin = LinearScanIndex::build(data.clone());
+        let mut rng = StdRng::seed_from_u64(22);
+        for k in [1, 5, 17, 200, 500] {
+            let q = BinaryCode::random(24, &mut rng);
+            let got = serve.knn(&q, k).unwrap();
+            assert_eq!(got.len(), k.min(200), "k={k}");
+            // Distances must be the k smallest the oracle can produce.
+            let mut want: Vec<(TupleId, u32)> = lin
+                .search(&q, 24)
+                .into_iter()
+                .map(|id| (id, data[id as usize].0.hamming(&q)))
+                .collect();
+            want.sort_unstable_by_key(|&(id, d)| (d, id));
+            want.truncate(k.min(200));
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mutations_route_to_owner_and_bump_epoch() {
+        let data = dataset(50, 16, 31);
+        let serve = HaServe::build(16, data.clone(), ServeConfig::default()).unwrap();
+        assert_eq!(serve.epoch(), 0);
+        let mut rng = StdRng::seed_from_u64(32);
+        let fresh = BinaryCode::random(16, &mut rng);
+        serve.insert(fresh.clone(), 777).unwrap();
+        assert_eq!(serve.epoch(), 1);
+        assert!(serve.select(&fresh, 0).unwrap().contains(&777));
+        assert!(serve.delete(&fresh, 777).unwrap());
+        assert_eq!(serve.epoch(), 2);
+        assert!(!serve.delete(&fresh, 777).unwrap(), "double delete");
+        assert_eq!(serve.epoch(), 2, "failed delete must not bump the epoch");
+        assert_eq!(serve.len(), 50);
+    }
+
+    #[test]
+    fn cache_hits_after_repeat_and_invalidates_on_mutation() {
+        let data = dataset(120, 16, 41);
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(16, data.clone(), cfg).unwrap();
+        let q = data[7].0.clone();
+        let first = serve.select(&q, 3).unwrap();
+        let second = serve.select(&q, 3).unwrap();
+        assert_eq!(first, second);
+        let m = serve.metrics();
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.batches_formed, 1, "the hit formed no batch");
+        // A mutation invalidates; the next repeat is a miss and sees the
+        // new tuple.
+        serve.insert(q.clone(), 9999).unwrap();
+        let third = serve.select(&q, 3).unwrap();
+        assert!(third.contains(&9999), "no stale hit after insert");
+        let m = serve.metrics();
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_hits, 1);
+    }
+
+    #[test]
+    fn manual_drive_overload_rejects_then_drains() {
+        let data = dataset(60, 16, 51);
+        let cfg = ServeConfig {
+            workers: 0,
+            queue_capacity: 3,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(16, data.clone(), cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        let qs: Vec<BinaryCode> = (0..4).map(|_| BinaryCode::random(16, &mut rng)).collect();
+        let t0 = serve.submit_select(&qs[0], 2).unwrap();
+        let t1 = serve.submit_select(&qs[1], 2).unwrap();
+        let t2 = serve.submit_select(&qs[2], 5).unwrap();
+        let err = serve.submit_select(&qs[3], 2).unwrap_err();
+        assert_eq!(err, ServiceError::Overloaded { capacity: 3 });
+        assert_eq!(serve.queue_depth(), 3);
+        // Draining forms two batches: the radius-2 pair, then the lone
+        // radius-5 select.
+        assert_eq!(serve.pump_all(), 2);
+        for (t, q) in [(t0, &qs[0]), (t1, &qs[1])] {
+            assert_eq!(t.wait().unwrap(), oracle(&data, q, 2));
+        }
+        assert_eq!(t2.wait().unwrap(), oracle(&data, &qs[2], 5));
+        let m = serve.metrics();
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.batches_formed, 2);
+        assert_eq!(m.batch_sizes, vec![(1, 1), (2, 1)]);
+        assert!((m.mean_batch_size() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dfs_roundtrip_serves_the_persisted_index() {
+        let data = dataset(150, 32, 61);
+        let idx = DynamicHaIndex::build(data.clone());
+        let dfs = InMemoryDfs::new();
+        dfs.try_put_with_blocks("/out/global.haix", vec![idx.to_bytes()], 1, 1)
+            .unwrap();
+        let serve =
+            HaServe::load_from_dfs(&dfs, "/out/global.haix", ServeConfig::default()).unwrap();
+        assert_eq!(serve.len(), 150);
+        assert_eq!(serve.code_len(), 32);
+        let mut rng = StdRng::seed_from_u64(62);
+        let q = BinaryCode::random(32, &mut rng);
+        assert_eq!(serve.select(&q, 6).unwrap(), oracle(&data, &q, 6));
+    }
+
+    #[test]
+    fn corrupt_blob_is_rejected_with_decode_error() {
+        let data = dataset(40, 16, 71);
+        let mut blob = DynamicHaIndex::build(data).to_bytes();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x40;
+        let dfs = InMemoryDfs::new();
+        dfs.try_put_with_blocks("/out/bad.haix", vec![blob], 1, 1)
+            .unwrap();
+        let err = HaServe::load_from_dfs(&dfs, "/out/bad.haix", ServeConfig::default()).unwrap_err();
+        assert!(matches!(err, ServiceError::Decode(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn missing_file_is_a_storage_error() {
+        let dfs = InMemoryDfs::new();
+        let err = HaServe::load_from_dfs(&dfs, "/nope", ServeConfig::default()).unwrap_err();
+        assert!(matches!(err, ServiceError::Storage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn wrong_code_length_is_typed() {
+        let data = dataset(20, 16, 81);
+        let serve = HaServe::build(16, data, ServeConfig::default()).unwrap();
+        let q = BinaryCode::zero(32);
+        let err = serve.select(&q, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::WrongCodeLength {
+                expected: 16,
+                got: 32
+            }
+        );
+        assert!(serve.insert(BinaryCode::zero(8), 1).is_err());
+    }
+
+    #[test]
+    fn leafless_config_is_rejected() {
+        let cfg = ServeConfig {
+            dha: DhaConfig {
+                keep_leaf_ids: false,
+                ..DhaConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let err = HaServe::build(16, dataset(10, 16, 91), cfg).unwrap_err();
+        assert_eq!(err, ServiceError::Leafless);
+    }
+
+    #[test]
+    fn sharding_is_a_partition() {
+        let data = dataset(200, 24, 101);
+        let serve = HaServe::build(24, data.clone(), ServeConfig::default()).unwrap();
+        let m = serve.metrics();
+        assert_eq!(m.per_shard.len(), 4);
+        assert_eq!(m.per_shard.iter().map(|s| s.items).sum::<usize>(), 200);
+        assert!(
+            m.per_shard.iter().filter(|s| s.items > 0).count() > 1,
+            "hash partitioning should spread 200 items over multiple shards"
+        );
+        for (c, _) in &data {
+            assert!(serve.shard_of(c) < 4);
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_get_exact_answers() {
+        let data = dataset(400, 32, 111);
+        let cfg = ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(32, data.clone(), cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(112);
+        let queries: Vec<(BinaryCode, u32)> = (0..64)
+            .map(|_| (BinaryCode::random(32, &mut rng), rng.gen_range(0..8)))
+            .collect();
+        let serve = &serve;
+        let data = &data;
+        std::thread::scope(|scope| {
+            for chunk in queries.chunks(16) {
+                scope.spawn(move || {
+                    for (q, h) in chunk {
+                        assert_eq!(serve.select(q, *h).unwrap(), oracle(data, q, *h));
+                    }
+                });
+            }
+        });
+        let m = serve.metrics();
+        assert_eq!(m.selects, 64);
+        assert_eq!(m.cache_hits + m.cache_misses, 64);
+    }
+}

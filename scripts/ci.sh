@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the workspace (see README.md). Everything here must
+# stay green: release build, the full default test suite, and the
+# targeted robustness/audit suites (fault-injection matrix, storage
+# chaos, serving-layer concurrency, panic audit of the typed-error
+# crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo test -q --test mapreduce_robustness
+run cargo test -q --test storage_robustness
+run cargo test -q --test serve_concurrency
+run cargo test -q --test panic_audit
+
+echo "==> tier-1 green"

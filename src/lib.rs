@@ -16,6 +16,7 @@
 //! | [`mapreduce`] | `ha-mapreduce` | the MapReduce runtime + metrics |
 //! | [`datagen`] | `ha-datagen` | dataset profiles, sampling, scale-up |
 //! | [`distributed`] | `ha-distributed` | MR Hamming-join, PMH & PGBJ |
+//! | [`service`] | `ha-service` | HA-Serve: online sharded query serving |
 //!
 //! ## Quickstart
 //!
@@ -45,3 +46,4 @@ pub use ha_distributed as distributed;
 pub use ha_hashing as hashing;
 pub use ha_knn as knn;
 pub use ha_mapreduce as mapreduce;
+pub use ha_service as service;

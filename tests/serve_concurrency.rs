@@ -1,0 +1,275 @@
+//! Concurrency smoke tests of the HA-Serve layer, with *exact* metrics
+//! accounting.
+//!
+//! The serving guarantees under test:
+//!
+//! 1. A seeded mixed select/insert/delete workload against a 4-worker
+//!    service with the result cache enabled produces, for every select,
+//!    exactly the answer a single-threaded `LinearScanIndex` oracle gives
+//!    on the index state at answer time — and every counter (batches
+//!    formed, cache hits/misses, rejections, mutations) matches a shadow
+//!    model computed alongside.
+//! 2. Truly concurrent clients (multiple submitter threads against the
+//!    worker pool, micro-batching on) still get exact answers.
+//! 3. Admission control is exact: a full queue rejects with a typed
+//!    error, nothing queued is lost, and the rejection is counted.
+
+use std::collections::HashMap;
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::{HammingIndex, LinearScanIndex, MutableIndex, TupleId};
+use hamming_suite::service::{HaServe, ServeConfig, ServiceError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, len: usize, seed: u64) -> Vec<(BinaryCode, TupleId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| (BinaryCode::random(len, &mut rng), i as TupleId))
+        .collect()
+}
+
+fn sorted(mut ids: Vec<TupleId>) -> Vec<TupleId> {
+    ids.sort_unstable();
+    ids
+}
+
+/// The tentpole acceptance test: 4 worker threads, seeded mixed workload,
+/// cache enabled — answers identical to the single-threaded oracle, and
+/// exact accounting for batches formed, cache hits, and rejections.
+#[test]
+fn seeded_mixed_workload_matches_oracle_with_exact_accounting() {
+    const CODE_LEN: usize = 24;
+    let data = dataset(300, CODE_LEN, 2024);
+    let cfg = ServeConfig {
+        shards: 4,
+        workers: 4,
+        queue_capacity: 256,
+        max_batch: 8,
+        cache_capacity: 100_000, // never evicts: eviction accounting stays 0
+        seed: 5,
+        ..ServeConfig::default()
+    };
+    let serve = HaServe::build(CODE_LEN, data.clone(), cfg).unwrap();
+    let mut oracle = LinearScanIndex::build(data.clone());
+    let mut live: Vec<(BinaryCode, TupleId)> = data;
+    let mut rng = StdRng::seed_from_u64(2025);
+
+    // Shadow model of the service's epoch-validated cache: key → epoch the
+    // cached answer was computed at. A select hits iff its key is present
+    // at the *current* epoch. The driver is closed-loop (one outstanding
+    // request), so every executed batch contains exactly one query and
+    // `batches formed == cache misses`.
+    let mut model: HashMap<(BinaryCode, u32), u64> = HashMap::new();
+    let mut epoch = 0u64;
+    let (mut selects, mut hits, mut inserts, mut deletes) = (0u64, 0u64, 0u64, 0u64);
+    let mut next_id: TupleId = 1_000_000;
+
+    for _ in 0..500 {
+        match rng.gen_range(0..10u32) {
+            // Selects dominate, over a small query pool so repeats (and
+            // therefore cache hits) actually happen.
+            0..=6 => {
+                let mut q = live[rng.gen_range(0..live.len())].0.clone();
+                if rng.gen_bool(0.5) {
+                    q.flip(rng.gen_range(0..CODE_LEN));
+                }
+                let h = rng.gen_range(0..6);
+                let got = serve.select(&q, h).unwrap();
+                assert_eq!(got, sorted(oracle.search(&q, h)), "h={h}");
+                selects += 1;
+                if model.get(&(q.clone(), h)) == Some(&epoch) {
+                    hits += 1;
+                } else {
+                    model.insert((q, h), epoch);
+                }
+            }
+            7..=8 => {
+                // Half fresh codes, half duplicates of a live code.
+                let code = if rng.gen_bool(0.5) {
+                    BinaryCode::random(CODE_LEN, &mut rng)
+                } else {
+                    live[rng.gen_range(0..live.len())].0.clone()
+                };
+                serve.insert(code.clone(), next_id).unwrap();
+                oracle.insert(code.clone(), next_id);
+                live.push((code, next_id));
+                next_id += 1;
+                epoch += 1;
+                inserts += 1;
+            }
+            _ => {
+                let pos = rng.gen_range(0..live.len());
+                let (code, id) = live.swap_remove(pos);
+                assert!(serve.delete(&code, id).unwrap());
+                assert!(oracle.delete(&code, id));
+                epoch += 1;
+                deletes += 1;
+            }
+        }
+    }
+
+    let m = serve.metrics();
+    assert_eq!(m.selects, selects);
+    assert_eq!(m.inserts, inserts);
+    assert_eq!(m.deletes, deletes);
+    assert_eq!(m.cache_hits, hits, "shadow cache model must predict hits exactly");
+    assert_eq!(m.cache_misses, selects - hits);
+    assert_eq!(m.batches_formed, selects - hits, "closed loop: one miss = one batch");
+    assert_eq!(m.batch_sizes, vec![(1, selects - hits)]);
+    assert_eq!(m.cache_evictions, 0);
+    assert_eq!(m.rejected, 0);
+    assert_eq!(serve.epoch(), epoch);
+    assert_eq!(serve.len(), live.len());
+    assert!(hits > 0, "workload was tuned to produce repeats (got {selects} selects)");
+    // Every executed batch probed every one of the 4 shards exactly once.
+    for s in &m.per_shard {
+        assert_eq!(s.searches, m.batches_formed);
+        assert_eq!(s.latency.count(), m.batches_formed);
+    }
+}
+
+/// Concurrent submitters × worker pool × micro-batching: answers stay
+/// exact, and the ledger still adds up.
+#[test]
+fn concurrent_clients_get_oracle_answers() {
+    const CODE_LEN: usize = 32;
+    let data = dataset(400, CODE_LEN, 31);
+    let cfg = ServeConfig {
+        shards: 3,
+        workers: 4,
+        max_batch: 16,
+        seed: 9,
+        ..ServeConfig::default()
+    };
+    let serve = HaServe::build(CODE_LEN, data.clone(), cfg).unwrap();
+    let oracle = LinearScanIndex::build(data.clone());
+
+    let mut rng = StdRng::seed_from_u64(32);
+    let workload: Vec<(BinaryCode, u32)> = (0..96)
+        .map(|_| {
+            let mut q = data[rng.gen_range(0..data.len())].0.clone();
+            q.flip(rng.gen_range(0..CODE_LEN));
+            (q, rng.gen_range(0..7))
+        })
+        .collect();
+    let expected: Vec<Vec<TupleId>> = workload
+        .iter()
+        .map(|(q, h)| sorted(oracle.search(q, *h)))
+        .collect();
+
+    let serve_ref = &serve;
+    let workload_ref = &workload;
+    let expected_ref = &expected;
+    std::thread::scope(|scope| {
+        for client in 0..8 {
+            scope.spawn(move || {
+                for i in (client..workload_ref.len()).step_by(8) {
+                    let (q, h) = &workload_ref[i];
+                    assert_eq!(serve_ref.select(q, *h).unwrap(), expected_ref[i], "query {i}");
+                }
+            });
+        }
+    });
+
+    let m = serve.metrics();
+    assert_eq!(m.selects, 96);
+    assert_eq!(m.cache_hits + m.cache_misses, 96);
+    assert_eq!(m.rejected, 0);
+    // The batch-size ledger must cover exactly the misses.
+    let batched: u64 = m.batch_sizes.iter().map(|&(s, c)| s as u64 * c).sum();
+    assert_eq!(batched, m.cache_misses);
+    let batches: u64 = m.batch_sizes.iter().map(|&(_, c)| c).sum();
+    assert_eq!(batches, m.batches_formed);
+}
+
+/// Admission control under manual drive: deterministic fill, typed
+/// rejection, exact drain.
+#[test]
+fn bounded_queue_rejects_and_recovers() {
+    const CODE_LEN: usize = 16;
+    let data = dataset(80, CODE_LEN, 41);
+    let cfg = ServeConfig {
+        shards: 2,
+        workers: 0, // manual drive: nothing runs until pump
+        queue_capacity: 4,
+        max_batch: 8,
+        seed: 1,
+        ..ServeConfig::default()
+    };
+    let serve = HaServe::build(CODE_LEN, data.clone(), cfg).unwrap();
+    let oracle = LinearScanIndex::build(data.clone());
+    let mut rng = StdRng::seed_from_u64(42);
+    let queries: Vec<BinaryCode> = (0..5)
+        .map(|_| BinaryCode::random(CODE_LEN, &mut rng))
+        .collect();
+
+    let tickets: Vec<_> = queries[..4]
+        .iter()
+        .map(|q| serve.submit_select(q, 2).unwrap())
+        .collect();
+    assert_eq!(serve.queue_depth(), 4);
+    let err = serve.submit_select(&queries[4], 2).unwrap_err();
+    assert_eq!(err, ServiceError::Overloaded { capacity: 4 });
+
+    // Draining answers everything accepted; same radius → one batch of 4.
+    assert_eq!(serve.pump_all(), 1);
+    for (t, q) in tickets.into_iter().zip(&queries) {
+        assert_eq!(t.wait().unwrap(), sorted(oracle.search(q, 2)));
+    }
+    let m = serve.metrics();
+    assert_eq!(m.rejected, 1);
+    assert_eq!(m.selects, 4);
+    assert_eq!(m.batches_formed, 1);
+    assert_eq!(m.batch_sizes, vec![(4, 1)]);
+    // After the drain there is room again.
+    assert!(serve.submit_select(&queries[4], 2).is_ok());
+    serve.pump_all();
+}
+
+/// The same seeded concurrent run executed twice produces identical
+/// answers — scheduling may reorder batches, never change results.
+#[test]
+fn repeated_runs_are_reproducible() {
+    const CODE_LEN: usize = 24;
+    let data = dataset(200, CODE_LEN, 51);
+    let mut rng = StdRng::seed_from_u64(52);
+    let queries: Vec<BinaryCode> = (0..40)
+        .map(|_| BinaryCode::random(CODE_LEN, &mut rng))
+        .collect();
+
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let cfg = ServeConfig {
+            shards: 4,
+            workers: 4,
+            max_batch: 8,
+            seed: 3,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(CODE_LEN, data.clone(), cfg).unwrap();
+        let serve_ref = &serve;
+        let queries_ref = &queries;
+        let mut answers: Vec<Vec<TupleId>> = vec![Vec::new(); queries.len()];
+        let chunks: Vec<Vec<Vec<TupleId>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|client| {
+                    scope.spawn(move || {
+                        (client..queries_ref.len())
+                            .step_by(4)
+                            .map(|i| serve_ref.select(&queries_ref[i], 3).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (client, chunk) in chunks.into_iter().enumerate() {
+            for (j, ids) in chunk.into_iter().enumerate() {
+                answers[client + j * 4] = ids;
+            }
+        }
+        outcomes.push(answers);
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+}

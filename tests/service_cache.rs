@@ -1,0 +1,106 @@
+//! Property test of the serving layer's central safety claim: the
+//! epoch-validated result cache can **never** serve a stale answer.
+//!
+//! Strategy: drive a manual-mode (deterministic) HA-Serve instance and a
+//! `LinearScanIndex` oracle in lockstep through a seeded interleaving of
+//! H-Insert, H-Delete, and cached Hamming-selects. After every single
+//! operation the select answer must equal the oracle's answer **on the
+//! index state at answer time** — if an invalidation were ever missed
+//! (epoch not bumped, bump not observed, entry not dropped), a repeated
+//! query straddling a mutation would return the pre-mutation id set and
+//! the lockstep comparison would catch it immediately. Shard counts,
+//! batch sizes, and cache capacities (including tiny, eviction-heavy
+//! ones) are all generated.
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::{HammingIndex, LinearScanIndex, MutableIndex, TupleId};
+use hamming_suite::service::{HaServe, ServeConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CODE_LEN: usize = 16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_mutations_never_yield_stale_cached_answers(
+        seed in any::<u64>(),
+        shards in 1usize..=4,
+        max_batch in 1usize..=8,
+        capacity_idx in 0usize..=3,
+    ) {
+        // Tiny capacities force constant evictions; the big one never evicts.
+        let cache_capacity = [1usize, 2, 8, 1024][capacity_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60 + (seed % 60) as usize;
+        let data: Vec<(BinaryCode, TupleId)> = (0..n)
+            .map(|i| (BinaryCode::random(CODE_LEN, &mut rng), i as TupleId))
+            .collect();
+
+        let cfg = ServeConfig {
+            shards,
+            workers: 0, // manual drive: selects auto-pump on the caller
+            max_batch,
+            cache_capacity,
+            seed,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(CODE_LEN, data.clone(), cfg).unwrap();
+        let mut oracle = LinearScanIndex::build(data.clone());
+        let mut live = data;
+        let mut next_id: TupleId = 1_000_000;
+
+        for step in 0..150 {
+            match rng.gen_range(0..10u32) {
+                // Selects drawn from a deliberately small neighbourhood so
+                // the same (code, radius) keys recur and exercise hits,
+                // stale invalidations, and (for tiny capacities) evictions.
+                0..=5 => {
+                    let q = if live.is_empty() {
+                        BinaryCode::random(CODE_LEN, &mut rng)
+                    } else {
+                        let pool = live.len().min(8);
+                        let mut q = live[rng.gen_range(0..pool)].0.clone();
+                        if rng.gen_bool(0.3) {
+                            q.flip(rng.gen_range(0..CODE_LEN));
+                        }
+                        q
+                    };
+                    let h = rng.gen_range(0..5);
+                    let got = serve.select(&q, h).unwrap();
+                    let mut want = oracle.search(&q, h);
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "step {} h={} (stale cache?)", step, h);
+                }
+                6..=7 => {
+                    let code = if !live.is_empty() && rng.gen_bool(0.5) {
+                        live[rng.gen_range(0..live.len())].0.clone()
+                    } else {
+                        BinaryCode::random(CODE_LEN, &mut rng)
+                    };
+                    serve.insert(code.clone(), next_id).unwrap();
+                    oracle.insert(code.clone(), next_id);
+                    live.push((code, next_id));
+                    next_id += 1;
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let pos = rng.gen_range(0..live.len());
+                    let (code, id) = live.swap_remove(pos);
+                    prop_assert!(serve.delete(&code, id).unwrap());
+                    prop_assert!(oracle.delete(&code, id));
+                }
+            }
+        }
+
+        // Bookkeeping stayed exact across the whole interleaving.
+        let m = serve.metrics();
+        prop_assert_eq!(m.cache_hits + m.cache_misses, m.selects);
+        prop_assert_eq!(m.rejected, 0);
+        prop_assert_eq!(serve.len(), live.len());
+    }
+}
