@@ -12,11 +12,14 @@
 //! scale; the paper's full workloads are roughly `HA_SCALE=10`..`50`
 //! depending on the experiment). `--json <path>` additionally writes
 //! every printed table to `<path>` as one machine-readable JSON document.
+//! `--trace <path>` turns HA-Trace on for the whole run and writes the
+//! collected spans/events/metrics to `<path>` as JSON lines (see
+//! docs/OBSERVABILITY.md).
 
 use ha_bench::{exp, report};
 use ha_bench::Scale;
 
-const USAGE: &str = "usage: experiments [--json <path>] [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|serve|all]...
+const USAGE: &str = "usage: experiments [--json <path>] [--trace <path>] [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|serve|trace|all]...
 
 Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   table3   H-Search execution trace on the running example
@@ -28,10 +31,13 @@ Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   fig9     MapReduce join: running time vs data size   (runs with fig7)
   fig10    effect of the preprocessing sample rate
   serve    HA-Serve: online select throughput, single vs micro-batched
+  trace    HA-Trace: per-phase span profile of the DFS-backed MRHA join
   all      everything above
 
 Options:
-  --json <path>   also write every table to <path> as JSON
+  --json <path>    also write every table to <path> as JSON
+  --trace <path>   enable HA-Trace for the run; write spans/events/metrics
+                   to <path> as JSON lines
 
 Environment: HA_SCALE=<f64> multiplies dataset sizes (default 1.0).";
 
@@ -42,16 +48,18 @@ fn main() {
         std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
 
-    // Split `--json <path>` out of the experiment names.
+    // Split `--json <path>` / `--trace <path>` out of the experiment names.
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
-        if arg == "--json" {
+        if arg == "--json" || arg == "--trace" {
             match it.next() {
-                Some(path) => json_path = Some(path),
+                Some(path) if arg == "--json" => json_path = Some(path),
+                Some(path) => trace_path = Some(path),
                 None => {
-                    eprintln!("--json needs a path\n\n{USAGE}");
+                    eprintln!("{arg} needs a path\n\n{USAGE}");
                     std::process::exit(2);
                 }
             }
@@ -65,6 +73,9 @@ fn main() {
     }
     if json_path.is_some() {
         report::enable();
+    }
+    if trace_path.is_some() {
+        ha_obs::enable();
     }
 
     let scale = Scale::from_env();
@@ -89,6 +100,7 @@ fn main() {
             "fig8" => exp::fig8::run(&scale),
             "fig10" => exp::fig10::run(&scale),
             "serve" => exp::serve::run(&scale),
+            "trace" => exp::trace::run(&scale),
             "all" => {
                 exp::table3::run();
                 exp::table4::run(&scale);
@@ -101,6 +113,7 @@ fn main() {
                 }
                 exp::fig10::run(&scale);
                 exp::serve::run(&scale);
+                exp::trace::run(&scale);
             }
             other => {
                 eprintln!("unknown experiment: {other}\n\n{USAGE}");
@@ -112,6 +125,26 @@ fn main() {
     if let Some(path) = json_path {
         match report::write_json(&path) {
             Ok(count) => println!("\n# wrote {count} table(s) to {path}"),
+            Err(e) => {
+                eprintln!("writing {path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = trace_path {
+        use ha_obs::Sink;
+        let trace = ha_obs::take_trace();
+        let result = std::fs::File::create(&path).and_then(|file| {
+            let mut sink = ha_obs::JsonLinesSink::new(std::io::BufWriter::new(file));
+            sink.consume(&trace)
+        });
+        match result {
+            Ok(()) => println!(
+                "\n# wrote {} span(s), {} event(s) to {path}",
+                trace.spans.len(),
+                trace.events.len()
+            ),
             Err(e) => {
                 eprintln!("writing {path} failed: {e}");
                 std::process::exit(1);

@@ -10,3 +10,4 @@ pub mod serve;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod trace;

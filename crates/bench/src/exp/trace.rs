@@ -1,0 +1,215 @@
+//! HA-Trace demonstration: per-phase cost of the DFS-backed MRHA join.
+//!
+//! Runs `mrha_hamming_join_on_dfs` under tracing and prints three things:
+//!
+//! 1. a **per-phase cost table** read off the span tree (input read,
+//!    preprocessing, index build + persist, join, output write) — the
+//!    profile Figure 10a plots, but measured from spans instead of ad-hoc
+//!    stopwatches;
+//! 2. a **shuffle-cost model check**: the paper argues MRHA ships
+//!    `O(|HA|·N + n)` bytes (the index broadcast plus one record per
+//!    tuple) where PMH ships `O(m·N·d + n·d)` (whole vectors, `m`
+//!    permutations). Both joins run on the same data and the measured
+//!    traffic is printed next to the model's terms;
+//! 3. an **accounting run** at `workers = 1, partitions = 1`, where the
+//!    pipeline is sequential and the span tree must explain the wall
+//!    clock: the root's direct children are printed with their coverage
+//!    of the root span, plus a flame-style dump of the whole tree.
+//!
+//! The experiment uses [`ha_obs::enable`]/[`ha_obs::snapshot`] (never
+//! `take_trace`), so a surrounding `--trace <path>` capture keeps every
+//! span recorded here.
+
+use std::time::Duration;
+
+use ha_datagen::{generate, DatasetProfile};
+use ha_distributed::pipeline::{mrha_hamming_join_on_dfs, MrHaConfig};
+use ha_distributed::pmh::pmh_hamming_join;
+use ha_distributed::JoinOption;
+use ha_mapreduce::InMemoryDfs;
+use ha_obs::{SpanRecord, Trace};
+
+use crate::{fmt_bytes, fmt_duration, print_table, Scale};
+
+/// Dimensions of the synthetic tuples (matches the tiny profile below).
+const DIM: usize = 10;
+/// PMH permutation count used for the contrast run.
+const PMH_M: usize = 10;
+
+fn tuples(n: usize, seed: u64, id_base: u64) -> Vec<(Vec<f64>, u64)> {
+    generate(&DatasetProfile::tiny(DIM, 3), n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, id_base + i as u64))
+        .collect()
+}
+
+/// Percent of `part` in `whole`, as a printable cell.
+fn pct(part: Duration, whole: Duration) -> String {
+    if whole.is_zero() {
+        return "-".to_string();
+    }
+    format!("{:.1}%", 100.0 * part.as_secs_f64() / whole.as_secs_f64())
+}
+
+/// Runs the pipeline on a fresh DFS and returns its root span (plus the
+/// snapshot it lives in) and the outcome.
+fn traced_run(
+    data_r: &[(Vec<f64>, u64)],
+    data_s: &[(Vec<f64>, u64)],
+    cfg: &MrHaConfig,
+) -> (Trace, ha_distributed::pipeline::JoinOutcome) {
+    let dfs = InMemoryDfs::new();
+    let record_bytes = DIM * 8 + 8;
+    dfs.put_with_blocks("trace/r", data_r.to_vec(), 512, record_bytes);
+    dfs.put_with_blocks("trace/s", data_s.to_vec(), 512, record_bytes);
+    let outcome = mrha_hamming_join_on_dfs(&dfs, "trace/r", "trace/s", "trace/out", cfg);
+    (ha_obs::snapshot(), outcome)
+}
+
+/// Runs the HA-Trace experiment.
+pub fn run(scale: &Scale) {
+    let was_enabled = ha_obs::is_enabled();
+    ha_obs::enable();
+
+    let n = scale.n(240);
+    let r = tuples(n, 91, 0);
+    let s = tuples(n + n / 4, 92, 1_000_000);
+    eprintln!("[trace] |R| = {}, |S| = {}", r.len(), s.len());
+
+    // ---- 1. Per-phase cost table (model configuration: real parallelism).
+    let cfg = MrHaConfig {
+        partitions: 4,
+        workers: 4,
+        option: JoinOption::A,
+        ..MrHaConfig::default()
+    };
+    let (trace, outcome) = traced_run(&r, &s, &cfg);
+    let root = trace
+        .last_named("pipeline.mrha_join_on_dfs")
+        .expect("tracing is on: the pipeline records a root span");
+    let root_dur = root.duration();
+    let mut rows: Vec<Vec<String>> = trace
+        .children(root.id)
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                fmt_duration(c.duration()),
+                pct(c.duration(), root_dur),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "total (root span)".to_string(),
+        fmt_duration(root_dur),
+        "100.0%".to_string(),
+    ]);
+    print_table(
+        &format!(
+            "HA-Trace: per-phase cost of mrha_hamming_join_on_dfs (N={}, workers={})",
+            cfg.partitions, cfg.workers
+        ),
+        &["phase", "span time", "of pipeline"],
+        &rows,
+    );
+
+    // ---- 2. Shuffle-cost model check: MRHA O(|HA|·N + n) vs PMH
+    // O(m·N·d + n·d). The broadcast counter *is* the |HA|·N (resp.
+    // m·N·d-ish) term; shuffle_bytes is the per-record term.
+    let pmh = pmh_hamming_join(&r, &s, PMH_M, &cfg);
+    let mrha_m = &outcome.metrics;
+    let rows = vec![
+        vec![
+            "MRHA-A".to_string(),
+            fmt_bytes(mrha_m.shuffle_bytes),
+            fmt_bytes(mrha_m.broadcast_bytes),
+            fmt_bytes(mrha_m.total_traffic_bytes()),
+            format!("O(|HA|·N + n), N={}", cfg.partitions),
+        ],
+        vec![
+            format!("PMH-{PMH_M}"),
+            fmt_bytes(pmh.metrics.shuffle_bytes),
+            fmt_bytes(pmh.metrics.broadcast_bytes),
+            fmt_bytes(pmh.metrics.total_traffic_bytes()),
+            format!("O(m·N·d + n·d), m={PMH_M}, d={DIM}"),
+        ],
+        vec![
+            "PMH / MRHA".to_string(),
+            String::new(),
+            String::new(),
+            format!(
+                "{:.1}×",
+                pmh.metrics.total_traffic_bytes() as f64
+                    / mrha_m.total_traffic_bytes().max(1) as f64
+            ),
+            "the §5.4 shuffle-cost claim".to_string(),
+        ],
+    ];
+    print_table(
+        "HA-Trace: measured shuffle traffic vs the paper's cost model",
+        &["method", "shuffle", "broadcast", "total", "model"],
+        &rows,
+    );
+
+    // ---- 3. Accounting run: sequential configuration, so the span tree
+    // must explain the wall clock.
+    let acct_cfg = MrHaConfig {
+        partitions: 1,
+        workers: 1,
+        option: JoinOption::A,
+        ..MrHaConfig::default()
+    };
+    let (trace, _) = traced_run(&r, &s, &acct_cfg);
+    let root = trace
+        .last_named("pipeline.mrha_join_on_dfs")
+        .expect("tracing is on");
+    let root_dur = root.duration();
+    let phase_sum: Duration = trace.children(root.id).iter().map(|c| c.duration()).sum();
+    let sub = trace.subtree(root.id);
+    let task_sum: Duration = sub
+        .iter()
+        .filter(|s| s.name == "mr.map_task" || s.name == "mr.reduce_task")
+        .map(|s| s.duration())
+        .sum();
+    let jobs = sub.iter().filter(|s| s.name == "mr.job").count();
+    print_table(
+        "HA-Trace: span accounting at workers=1, partitions=1",
+        &["quantity", "value", "of pipeline"],
+        &[
+            vec![
+                "pipeline wall (root span)".to_string(),
+                fmt_duration(root_dur),
+                "100.0%".to_string(),
+            ],
+            vec![
+                "sum of phase spans".to_string(),
+                fmt_duration(phase_sum),
+                pct(phase_sum, root_dur),
+            ],
+            vec![
+                "sum of task spans".to_string(),
+                fmt_duration(task_sum),
+                pct(task_sum, root_dur),
+            ],
+            vec![
+                "MapReduce jobs traced".to_string(),
+                jobs.to_string(),
+                String::new(),
+            ],
+        ],
+    );
+
+    // Flame dump of the accounting run's tree (root + descendants only).
+    let flame_trace = Trace {
+        spans: sub.into_iter().cloned().collect::<Vec<SpanRecord>>(),
+        events: Vec::new(),
+        metrics: ha_obs::MetricsSnapshot::default(),
+    };
+    println!("\n=== HA-Trace: flame view (accounting run) ===");
+    print!("{}", flame_trace.render_flame());
+
+    if !was_enabled {
+        ha_obs::disable();
+    }
+}

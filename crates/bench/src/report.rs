@@ -7,11 +7,14 @@
 //! diffed, plotted, and regression-checked by scripts instead of by
 //! eyeballing aligned text.
 //!
-//! The emitter is a ~40-line hand-rolled serializer (the environment is
-//! offline; no serde): everything is strings, arrays, and one object
-//! shape, so the full JSON grammar is not needed.
+//! String escaping delegates to the workspace's shared RFC 8259 emitter
+//! ([`ha_obs::json`] — the same code that writes JSON-lines traces), so
+//! the escaping rules live in exactly one place; only the `{"tables":
+//! […]}` document shape is assembled here.
 
 use std::sync::Mutex;
+
+use ha_obs::json::{json_string, json_string_array};
 
 /// One captured experiment table: exactly what `print_table` rendered.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,33 +107,6 @@ pub fn tables_to_json(tables: &[RecordedTable]) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
-    out
-}
-
-fn json_string_array(items: &[String]) -> String {
-    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
-    format!("[{}]", cells.join(", "))
-}
-
-/// Escapes a string per RFC 8259 (quotes, backslashes, and control
-/// characters; everything else passes through as UTF-8).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
     out
 }
 

@@ -94,6 +94,24 @@ pub struct DynamicHaIndex {
 
 impl DynamicHaIndex {
     /// Bulk-loads with the default configuration (H-Build).
+    ///
+    /// ```
+    /// use ha_core::{DynamicHaIndex, HammingIndex};
+    /// use ha_bitcode::BinaryCode;
+    ///
+    /// // The paper's running example (Table 2a)…
+    /// let codes: Vec<(BinaryCode, u64)> = [
+    ///     "001001010", "001011101", "011001100", "101001010",
+    ///     "101110110", "101011101", "101101010", "111001100",
+    /// ].iter().enumerate().map(|(i, s)| (s.parse().unwrap(), i as u64)).collect();
+    /// let index = DynamicHaIndex::build(codes);
+    ///
+    /// // …answers Example 1: Hamming-select with q = 101100010, h = 3.
+    /// let query: BinaryCode = "101100010".parse().unwrap();
+    /// let mut hits = index.search(&query, 3);
+    /// hits.sort_unstable();
+    /// assert_eq!(hits, vec![0, 3, 4, 6]);
+    /// ```
     pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
         Self::build_with(items, DhaConfig::default())
     }
@@ -156,6 +174,25 @@ impl DynamicHaIndex {
     /// Hamming computation verifies many tuples" amortization. Returns,
     /// per query (by position), the qualifying ids, in the same set as
     /// [`HammingIndex::search`] would produce query by query.
+    ///
+    /// ```
+    /// use ha_core::{DynamicHaIndex, HammingIndex};
+    /// use ha_bitcode::BinaryCode;
+    ///
+    /// let index = DynamicHaIndex::build(
+    ///     (0..64u64).map(|i| (BinaryCode::from_u64(i, 16), i)));
+    /// let queries: Vec<BinaryCode> =
+    ///     (0..8u64).map(|i| BinaryCode::from_u64(i * 3, 16)).collect();
+    ///
+    /// // One traversal for the whole batch ≡ one search per query.
+    /// let batched = index.batch_search(&queries, 2);
+    /// for (q, mut got) in queries.iter().zip(batched) {
+    ///     let mut solo = index.search(q, 2);
+    ///     got.sort_unstable();
+    ///     solo.sort_unstable();
+    ///     assert_eq!(got, solo);
+    /// }
+    /// ```
     pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
         search::h_batch_search(self, queries, h)
     }
@@ -231,6 +268,24 @@ impl DynamicHaIndex {
     }
 
     /// Merges a set of per-partition indexes into one global index.
+    ///
+    /// ```
+    /// use ha_core::{DynamicHaIndex, HammingIndex};
+    /// use ha_bitcode::BinaryCode;
+    ///
+    /// // Two partitions, built independently (the distributed H-Build)…
+    /// let lo = DynamicHaIndex::build(
+    ///     (0..32u64).map(|i| (BinaryCode::from_u64(i, 12), i)));
+    /// let hi = DynamicHaIndex::build(
+    ///     (32..64u64).map(|i| (BinaryCode::from_u64(i, 12), i)));
+    ///
+    /// // …merge into the global index; searches now span both.
+    /// let global = DynamicHaIndex::merge_all(vec![lo, hi]);
+    /// assert_eq!(global.len(), 64);
+    /// let mut hits = global.search(&BinaryCode::from_u64(33, 12), 1);
+    /// hits.sort_unstable();
+    /// assert_eq!(hits, vec![1, 32, 33, 35, 37, 41, 49]); // one bit away
+    /// ```
     ///
     /// # Panics
     /// If `parts` is empty.

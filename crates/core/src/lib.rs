@@ -92,6 +92,20 @@ pub trait HammingIndex {
 
 /// An index supporting online maintenance (the update column of Table 4:
 /// "delete one tuple, then insert the same tuple back").
+///
+/// ```
+/// use ha_core::{DynamicHaIndex, HammingIndex, MutableIndex};
+/// use ha_bitcode::BinaryCode;
+///
+/// let mut index = DynamicHaIndex::build(
+///     (0..16u64).map(|i| (BinaryCode::from_u64(i, 8), i)));
+/// let five = BinaryCode::from_u64(5, 8);
+///
+/// assert!(index.delete(&five, 5));          // H-Delete…
+/// assert!(!index.search(&five, 0).contains(&5));
+/// index.insert(five.clone(), 5);            // …then H-Insert restores it
+/// assert_eq!(index.search(&five, 0), vec![5]);
+/// ```
 pub trait MutableIndex: HammingIndex {
     /// Adds a `(code, id)` pair.
     fn insert(&mut self, code: BinaryCode, id: TupleId);

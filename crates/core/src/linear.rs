@@ -22,6 +22,18 @@ impl LinearScanIndex {
     }
 
     /// Builds from an iterator of `(code, id)` pairs.
+    ///
+    /// ```
+    /// use ha_bitcode::BinaryCode;
+    /// use ha_core::{HammingIndex, LinearScanIndex};
+    ///
+    /// // The oracle every other index is tested against: an O(n) scan.
+    /// let oracle = LinearScanIndex::build(
+    ///     (0..16u64).map(|i| (BinaryCode::from_u64(i, 8), i)));
+    /// let mut hits = oracle.search(&BinaryCode::from_u64(0, 8), 1);
+    /// hits.sort_unstable();
+    /// assert_eq!(hits, vec![0, 1, 2, 4, 8]);
+    /// ```
     pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
         let mut idx = Self::new();
         for (code, id) in items {

@@ -11,6 +11,17 @@ use crate::{HammingIndex, TupleId};
 
 /// Hamming-select (Definition 1): ids of tuples within distance `h` of
 /// `query`, sorted for deterministic output.
+///
+/// ```
+/// use ha_bitcode::BinaryCode;
+/// use ha_core::select::hamming_select;
+/// use ha_core::DynamicHaIndex;
+///
+/// let index = DynamicHaIndex::build(
+///     (0..16u64).map(|i| (BinaryCode::from_u64(i, 8), i)));
+/// let hits = hamming_select(&index, &BinaryCode::from_u64(0, 8), 1);
+/// assert_eq!(hits, vec![0, 1, 2, 4, 8]); // 0 and its four 1-bit flips
+/// ```
 pub fn hamming_select<I: HammingIndex + ?Sized>(
     index: &I,
     query: &BinaryCode,
@@ -27,6 +38,24 @@ pub fn hamming_select<I: HammingIndex + ?Sized>(
 ///
 /// Note the symmetry remark of Definition 2 (footnote 1): h-join(R, S) =
 /// h-join(S, R) up to pair orientation, so index the smaller side.
+///
+/// ```
+/// use ha_bitcode::BinaryCode;
+/// use ha_core::select::hamming_join;
+/// use ha_core::DynamicHaIndex;
+///
+/// // Index S, probe with R (ids offset so the sides are tellable apart).
+/// let s = DynamicHaIndex::build(
+///     (0..8u64).map(|i| (BinaryCode::from_u64(i, 8), 100 + i)));
+/// let r: Vec<(BinaryCode, u64)> =
+///     vec![(BinaryCode::from_u64(0, 8), 0), (BinaryCode::from_u64(7, 8), 1)];
+///
+/// let pairs = hamming_join(&s, &r, 1);
+/// assert_eq!(pairs, vec![
+///     (0, 100), (0, 101), (0, 102), (0, 104), // r0 ↔ {0,1,2,4}
+///     (1, 103), (1, 105), (1, 106), (1, 107), // r7 ↔ {3,5,6,7}
+/// ]);
+/// ```
 pub fn hamming_join<I: HammingIndex + ?Sized>(
     index: &I,
     probe: &[(BinaryCode, TupleId)],

@@ -109,6 +109,17 @@ impl StaticHaIndex {
     }
 
     /// Builds from `(code, id)` pairs with the default width.
+    ///
+    /// ```
+    /// use ha_bitcode::BinaryCode;
+    /// use ha_core::{HammingIndex, StaticHaIndex};
+    ///
+    /// let index = StaticHaIndex::build(
+    ///     (0..32u64).map(|i| (BinaryCode::from_u64(i, 16), i)));
+    /// let mut hits = index.search(&BinaryCode::from_u64(3, 16), 1);
+    /// hits.sort_unstable();
+    /// assert_eq!(hits, vec![1, 2, 3, 7, 11, 19]); // 3 and its 1-bit flips
+    /// ```
     pub fn build(items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
         let mut iter = items.into_iter().peekable();
         let code_len = iter

@@ -8,6 +8,16 @@ use crate::profile::DatasetProfile;
 
 /// Generates `n` vectors following `profile`, deterministically from
 /// `seed`.
+///
+/// ```
+/// use ha_datagen::{generate, DatasetProfile};
+///
+/// let data = generate(&DatasetProfile::tiny(8, 3), 100, 42);
+/// assert_eq!(data.len(), 100);
+/// assert!(data.iter().all(|v| v.len() == 8));
+/// // Same seed → same data, bit for bit.
+/// assert_eq!(data, generate(&DatasetProfile::tiny(8, 3), 100, 42));
+/// ```
 pub fn generate(profile: &DatasetProfile, n: usize, seed: u64) -> Vec<Vec<f64>> {
     generate_with_labels(profile, n, seed).0
 }

@@ -89,6 +89,22 @@ pub struct JoinOutcome {
 
 /// Runs the full 3-phase MRHA Hamming-join of R ⋈ S, panicking on job
 /// failure (wrapper over [`try_mrha_hamming_join`]).
+///
+/// ```
+/// use ha_datagen::{generate, DatasetProfile};
+/// use ha_distributed::pipeline::{mrha_hamming_join, MrHaConfig};
+///
+/// let r: Vec<(Vec<f64>, u64)> = generate(&DatasetProfile::tiny(8, 3), 60, 1)
+///     .into_iter().enumerate().map(|(i, v)| (v, i as u64)).collect();
+/// let s: Vec<(Vec<f64>, u64)> = generate(&DatasetProfile::tiny(8, 3), 80, 2)
+///     .into_iter().enumerate().map(|(i, v)| (v, 1000 + i as u64)).collect();
+///
+/// let cfg = MrHaConfig { partitions: 2, workers: 2, ..MrHaConfig::default() };
+/// let outcome = mrha_hamming_join(&r, &s, &cfg);
+/// // Pairs are (r_id, s_id), sorted; shuffle traffic was measured.
+/// assert!(outcome.pairs.iter().all(|&(ri, si)| ri < 1000 && si >= 1000));
+/// assert!(outcome.metrics.shuffle_bytes > 0);
+/// ```
 pub fn mrha_hamming_join(r: &[VecTuple], s: &[VecTuple], cfg: &MrHaConfig) -> JoinOutcome {
     try_mrha_hamming_join(r, s, cfg, &FaultInjector::none())
         .unwrap_or_else(|e| panic!("job failed: {e}"))
@@ -113,9 +129,13 @@ pub fn try_mrha_hamming_join(
         }
         o => o,
     };
+    let _pipeline_span = ha_obs::span_labeled("pipeline.mrha_join", || format!("{option:?}"));
 
     // Phase 1.
-    let pre = preprocess(r, s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed);
+    let pre = {
+        let _span = ha_obs::span("pipeline.preprocess");
+        preprocess(r, s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed)
+    };
     let mut times = PhaseTimes {
         sampling: pre.sampling_time,
         hash_learning: pre.hash_learn_time,
@@ -128,34 +148,40 @@ pub fn try_mrha_hamming_join(
         ..cfg.dha.clone()
     };
     let t = Instant::now();
-    let built = try_build_global_index(r.to_vec(), &pre, &dha, cfg.workers, cfg.partitions, faults)?;
+    let built = {
+        let _span = ha_obs::span("pipeline.index_build");
+        try_build_global_index(r.to_vec(), &pre, &dha, cfg.workers, cfg.partitions, faults)
+    }?;
     times.index_build = t.elapsed();
     let mut metrics = built.metrics;
 
     // Phase 3.
     let t = Instant::now();
-    let phase = match option {
-        JoinOption::A => try_join_option_a(
-            &built.index,
-            s.to_vec(),
-            &pre,
-            cfg.h,
-            cfg.workers,
-            cfg.partitions,
-            faults,
-        )?,
-        JoinOption::B => try_join_option_b(
-            &built.index,
-            r,
-            s.to_vec(),
-            &pre,
-            cfg.h,
-            cfg.workers,
-            cfg.partitions,
-            faults,
-        )?,
-        JoinOption::Auto => unreachable!("resolved above"),
-    };
+    let phase = {
+        let _span = ha_obs::span("pipeline.join");
+        match option {
+            JoinOption::A => try_join_option_a(
+                &built.index,
+                s.to_vec(),
+                &pre,
+                cfg.h,
+                cfg.workers,
+                cfg.partitions,
+                faults,
+            ),
+            JoinOption::B => try_join_option_b(
+                &built.index,
+                r,
+                s.to_vec(),
+                &pre,
+                cfg.h,
+                cfg.workers,
+                cfg.partitions,
+                faults,
+            ),
+            JoinOption::Auto => unreachable!("resolved above"),
+        }
+    }?;
     times.join = t.elapsed();
     metrics.absorb(&phase.metrics);
     metrics.job_name = "mrha-pipeline".to_string();
@@ -202,11 +228,21 @@ pub fn try_mrha_hamming_join_on_dfs(
     use crate::preprocess::preprocess;
     use ha_core::dynamic::DynamicHaIndex;
 
-    let r: Vec<VecTuple> = dfs.try_get(r_path)?;
-    let s: Vec<VecTuple> = dfs.try_get(s_path)?;
+    let _pipeline_span =
+        ha_obs::span_labeled("pipeline.mrha_join_on_dfs", || out_path.to_string());
+
+    let (r, s) = {
+        let _span = ha_obs::span("pipeline.input_read");
+        let r: Vec<VecTuple> = dfs.try_get(r_path)?;
+        let s: Vec<VecTuple> = dfs.try_get(s_path)?;
+        (r, s)
+    };
 
     // Phase 1.
-    let pre = preprocess(&r, &s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed);
+    let pre = {
+        let _span = ha_obs::span("pipeline.preprocess");
+        preprocess(&r, &s, cfg.sample_rate, cfg.code_len, cfg.partitions, cfg.seed)
+    };
     let mut times = PhaseTimes {
         sampling: pre.sampling_time,
         hash_learning: pre.hash_learn_time,
@@ -215,37 +251,47 @@ pub fn try_mrha_hamming_join_on_dfs(
 
     // Phase 2, then persist the global index blob (Figure 5's DFS hop).
     let t = Instant::now();
-    let built = try_build_global_index(r, &pre, &cfg.dha, cfg.workers, cfg.partitions, faults)?;
-    let blob = built.index.to_bytes();
     let index_path = format!("{out_path}.ha-index");
-    dfs.try_put_with_blocks(&index_path, vec![blob], 1, 1)?;
+    let built = {
+        let _span = ha_obs::span("pipeline.index_build");
+        let built = try_build_global_index(r, &pre, &cfg.dha, cfg.workers, cfg.partitions, faults)?;
+        let blob = built.index.to_bytes();
+        dfs.try_put_with_blocks(&index_path, vec![blob], 1, 1)?;
+        built
+    };
     times.index_build = t.elapsed();
     let mut metrics = built.metrics;
 
     // Phase 3 reads the blob back — the join runs on the *decoded* index,
     // so any serializer defect breaks the join, not just a unit test.
     let t = Instant::now();
-    let blob: Vec<u8> = dfs
-        .try_get::<Vec<u8>>(&index_path)?
-        .pop()
-        .ok_or(DfsError::FileNotFound {
-            path: index_path.clone(),
+    let phase = {
+        let _span = ha_obs::span("pipeline.join");
+        let blob: Vec<u8> = dfs
+            .try_get::<Vec<u8>>(&index_path)?
+            .pop()
+            .ok_or(DfsError::FileNotFound {
+                path: index_path.clone(),
+            })?;
+        // A decode failure here means the blob rotted *between* the block
+        // checksum verifying and H-Search consuming it — the wire format's
+        // own footer is the last line of defense.
+        let index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone()).map_err(|_| {
+            JobError::StorageFailed(DfsError::ChecksumMismatch {
+                path: index_path.clone(),
+                block: 0,
+            })
         })?;
-    // A decode failure here means the blob rotted *between* the block
-    // checksum verifying and H-Search consuming it — the wire format's
-    // own footer is the last line of defense.
-    let index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone()).map_err(|_| {
-        JobError::StorageFailed(DfsError::ChecksumMismatch {
-            path: index_path.clone(),
-            block: 0,
-        })
-    })?;
-    let phase = try_join_option_a(&index, s, &pre, cfg.h, cfg.workers, cfg.partitions, faults)?;
+        try_join_option_a(&index, s, &pre, cfg.h, cfg.workers, cfg.partitions, faults)?
+    };
     times.join = t.elapsed();
     metrics.absorb(&phase.metrics);
     metrics.job_name = "mrha-pipeline-dfs".to_string();
 
-    dfs.try_put_with_blocks(out_path, phase.pairs.clone(), 4096, 16)?;
+    {
+        let _span = ha_obs::span("pipeline.output_write");
+        dfs.try_put_with_blocks(out_path, phase.pairs.clone(), 4096, 16)?;
+    }
     Ok(JoinOutcome {
         pairs: phase.pairs,
         metrics,

@@ -36,6 +36,14 @@ pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Precision and recall of a retrieved id set against the true id set
 /// (Figure 10b's metrics). Returns `(precision, recall)`; empty retrieval
 /// scores (0, 0) unless the truth is empty too (then (1, 1)).
+///
+/// ```
+/// use ha_knn::precision_recall;
+///
+/// let (p, r) = precision_recall(&[1, 2, 3, 9], &[1, 2, 3, 4, 5, 6]);
+/// assert_eq!(p, 0.75); // 3 of the 4 retrieved are true neighbours
+/// assert_eq!(r, 0.5);  // …covering 3 of the 6 true neighbours
+/// ```
 pub fn precision_recall(retrieved: &[TupleId], truth: &[TupleId]) -> (f64, f64) {
     if truth.is_empty() && retrieved.is_empty() {
         return (1.0, 1.0);

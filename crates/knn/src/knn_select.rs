@@ -42,6 +42,22 @@ impl Default for KnnParams {
 /// The result is exact *in Hamming space* (the expansion only stops once
 /// `k` answers are in hand or the threshold saturates); approximation
 /// relative to the original feature space comes solely from the hash.
+///
+/// ```
+/// use ha_bitcode::BinaryCode;
+/// use ha_core::DynamicHaIndex;
+/// use ha_knn::{knn_select, KnnParams};
+///
+/// let index = DynamicHaIndex::build(
+///     (0..64u64).map(|i| (BinaryCode::from_u64(i, 8), i)));
+/// let query = BinaryCode::from_u64(0, 8);
+/// let top3 = knn_select(
+///     &index, |id| BinaryCode::from_u64(id, 8), &query, 3,
+///     KnnParams::default());
+///
+/// // Distance-then-id order: the exact match first, then 1-bit flips.
+/// assert_eq!(top3, vec![(0, 0), (1, 1), (2, 1)]);
+/// ```
 pub fn knn_select<I: HammingIndex + ?Sized>(
     index: &I,
     resolve: impl Fn(TupleId) -> BinaryCode,

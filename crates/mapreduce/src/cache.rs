@@ -24,6 +24,7 @@ impl<T> DistributedCache<T> {
     /// serialized size shipped to each.
     pub fn broadcast_sized(value: T, receivers: usize, bytes_each: usize) -> Self {
         assert!(receivers >= 1, "need at least one receiver");
+        ha_obs::add("mr.broadcast_bytes", (bytes_each * receivers) as u64);
         DistributedCache {
             value: Arc::new(value),
             receivers,

@@ -245,6 +245,7 @@ impl InMemoryDfs {
         block_records: usize,
         approx_record_bytes: usize,
     ) -> Result<(), DfsError> {
+        let _write_span = ha_obs::span_labeled("dfs.write", || path.to_string());
         if block_records < 1 {
             return Err(DfsError::InvalidBlockSize {
                 path: path.to_string(),
@@ -288,6 +289,7 @@ impl InMemoryDfs {
         self.files.write().insert(path.to_string(), Arc::new(file));
         self.bytes_written
             .fetch_add(n * approx_record_bytes, Ordering::Relaxed);
+        ha_obs::add("dfs.bytes_written", (n * approx_record_bytes) as u64);
         Ok(())
     }
 
@@ -333,6 +335,7 @@ impl InMemoryDfs {
         &self,
         path: &str,
     ) -> Result<Vec<Vec<T>>, DfsError> {
+        let _read_span = ha_obs::span_labeled("dfs.read", || path.to_string());
         let file = self
             .files
             .read()
@@ -402,6 +405,12 @@ impl InMemoryDfs {
             // checksum disagrees with the recomputed one.
             if meta.replicas[0].stored_checksum != computed {
                 self.corrupt_blocks_detected.fetch_add(1, Ordering::Relaxed);
+                ha_obs::add("dfs.corrupt_blocks_detected", 1);
+                ha_obs::emit(|| ha_obs::Event::DfsCorruptReplica {
+                    path: path.to_string(),
+                    block: b,
+                    node,
+                });
                 meta.replicas.remove(0);
                 skipped += 1;
                 checksum_failures += 1;
@@ -429,6 +438,13 @@ impl InMemoryDfs {
         if skipped > 0 {
             self.failovers.fetch_add(skipped, Ordering::Relaxed);
             self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+            ha_obs::add("dfs.failovers", skipped);
+            ha_obs::add("dfs.degraded_reads", 1);
+            ha_obs::emit(|| ha_obs::Event::DfsFailover {
+                path: path.to_string(),
+                block: b,
+                skipped,
+            });
             // Repair: copy back onto the lowest-numbered alive nodes not
             // already hosting the block, up to target factor. New copies
             // carry the canonical checksum — they are clones of the
@@ -449,6 +465,14 @@ impl InMemoryDfs {
                 added += 1;
             }
             self.re_replications.fetch_add(added, Ordering::Relaxed);
+            ha_obs::add("dfs.re_replications", added);
+            if added > 0 {
+                ha_obs::emit(|| ha_obs::Event::DfsReReplication {
+                    path: path.to_string(),
+                    block: b,
+                    copies: added,
+                });
+            }
         }
         Ok(block.to_vec())
     }

@@ -41,6 +41,17 @@
 //! that leaves every task at least one successful attempt. The test suite
 //! (`tests/mapreduce_robustness.rs`, `tests/fault_properties.rs`) pins
 //! this property down with deterministic fault injection ([`crate::fault`]).
+//!
+//! # Observability
+//!
+//! When [`ha_obs`] tracing is enabled the runner records a span tree per
+//! job — `mr.job` → `mr.map_phase`/`mr.shuffle`/`mr.reduce_phase`, with
+//! per-attempt `mr.map_task`/`mr.reduce_task` spans on the worker threads
+//! (parented across the thread boundary) wrapping the `mr.map`/`mr.spill`
+//! and `mr.sort`/`mr.reduce` sub-phases — plus typed events for every
+//! attempt launch, retry, speculative duplicate, and injected fault, and
+//! `mr.*` registry counters mirroring [`JobMetrics`]. With tracing off
+//! (the default) every hook is a single relaxed atomic load.
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -381,6 +392,10 @@ where
 {
     let (tx, rx) = mpsc::channel::<Result<T, AttemptError>>();
     let launch = |attempt: u32| {
+        ha_obs::emit(|| ha_obs::Event::TaskAttempt {
+            task: task.to_string(),
+            attempt,
+        });
         let tx = tx.clone();
         scope.spawn(move || {
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| attempt_fn(attempt)))
@@ -404,6 +419,9 @@ where
             Some(deadline) if stats.speculative == 0 => match rx.recv_timeout(deadline) {
                 Ok(outcome) => outcome,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
+                    ha_obs::emit(|| ha_obs::Event::TaskSpeculation {
+                        task: task.to_string(),
+                    });
                     launch(stats.attempts);
                     stats.attempts += 1;
                     stats.speculative += 1;
@@ -429,6 +447,11 @@ where
                         message,
                     });
                 }
+                ha_obs::emit(|| ha_obs::Event::TaskRetry {
+                    task: task.to_string(),
+                    failures: stats.failures,
+                    message: message.clone(),
+                });
                 thread::sleep(policy.backoff(task, stats.failures));
                 launch(stats.attempts);
                 stats.attempts += 1;
@@ -448,15 +471,21 @@ fn run_attempt<T>(
     attempt: u32,
     body: impl FnOnce() -> Result<T, AttemptError>,
 ) -> Result<T, AttemptError> {
-    match faults.deliver(task, attempt) {
-        Some(Fault::TransientError) => {
-            return Err(AttemptError::Transient(format!(
-                "injected transient error on {task} attempt {attempt}"
-            )));
+    if let Some(fault) = faults.deliver(task, attempt) {
+        ha_obs::emit(|| ha_obs::Event::TaskFault {
+            task: task.to_string(),
+            attempt,
+            fault: format!("{fault:?}"),
+        });
+        match fault {
+            Fault::TransientError => {
+                return Err(AttemptError::Transient(format!(
+                    "injected transient error on {task} attempt {attempt}"
+                )));
+            }
+            Fault::Panic => panic!("injected panic on {task} attempt {attempt}"),
+            Fault::Delay(d) => thread::sleep(d),
         }
-        Some(Fault::Panic) => panic!("injected panic on {task} attempt {attempt}"),
-        Some(Fault::Delay(d)) => thread::sleep(d),
-        None => {}
     }
     body()
 }
@@ -485,6 +514,7 @@ where
     let reducers = config.num_reducers.max(1);
     let workers = config.num_workers.max(1);
     let policy = RetryPolicy::of(config);
+    let _job_span = ha_obs::span_labeled("mr.job", || config.name.clone());
 
     // ---- Map phase: one supervised task per split, spilled into
     // per-reducer buckets. Splits are owned outside the thread scope so
@@ -495,30 +525,43 @@ where
         bytes: usize,
     }
 
+    let map_phase_span = ha_obs::span("mr.map_phase");
+    let map_ctx = ha_obs::current_context();
     let splits = make_splits(inputs, workers);
     let map_attempt = |task_idx: usize, attempt: u32| -> Result<MapPayload<K, V>, AttemptError> {
         let task = TaskId::map(task_idx);
         let split = &splits[task_idx];
         run_attempt(faults, task, attempt, || {
+            let _task_span =
+                ha_obs::span_labeled_under("mr.map_task", || task.to_string(), &map_ctx);
             let start = Instant::now();
+            // Map pass: run the mapper over the split, collecting its
+            // emitted records (Hadoop's in-memory output buffer).
+            let mut records: Vec<(K, V)> = Vec::new();
+            {
+                let _map_span = ha_obs::span("mr.map");
+                for input in split {
+                    mapper(input.clone(), &mut |k, v| records.push((k, v)));
+                }
+            }
+            // Spill pass: partition the buffer into per-reducer buckets,
+            // metering serialized shuffle bytes. The first out-of-range
+            // partition aborts the job — deterministic, so fatal.
             let mut buckets: Vec<Vec<(K, V)>> = (0..reducers).map(|_| Vec::new()).collect();
             let mut bytes = 0usize;
             let mut records_out = 0usize;
             let mut out_of_range: Option<usize> = None;
-            for input in split {
-                let mut emit = |k: K, v: V| {
+            {
+                let _spill_span = ha_obs::span("mr.spill");
+                for (k, v) in records {
                     let p = partitioner(&k, reducers);
                     if p >= reducers {
-                        out_of_range.get_or_insert(p);
-                        return;
+                        out_of_range = Some(p);
+                        break;
                     }
                     bytes += k.shuffle_bytes() + v.shuffle_bytes();
                     records_out += 1;
                     buckets[p].push((k, v));
-                };
-                mapper(input.clone(), &mut emit);
-                if out_of_range.is_some() {
-                    break;
                 }
             }
             if let Some(partition) = out_of_range {
@@ -579,39 +622,58 @@ where
         all_buckets.push(payload.buckets);
     }
     metrics.shuffle_bytes = shuffle_bytes;
+    drop(map_phase_span);
 
-    // ---- Reduce phase: each reducer merges its bucket column from every
-    // map task, groups in sorted key order, and reduces. The columns are
-    // owned outside the scope; attempts clone records while grouping so a
-    // retry (or a speculative twin) can always start from pristine input.
+    // ---- Shuffle: regroup the per-task spill buckets into per-reducer
+    // input columns (the all-to-all exchange whose byte volume the paper's
+    // cost model bounds).
+    let shuffle_span = ha_obs::span("mr.shuffle");
     let mut reducer_inputs: Vec<Vec<Vec<(K, V)>>> = (0..reducers).map(|_| Vec::new()).collect();
     for task_buckets in all_buckets {
         for (r, bucket) in task_buckets.into_iter().enumerate() {
             reducer_inputs[r].push(bucket);
         }
     }
+    drop(shuffle_span);
+
+    // ---- Reduce phase: each reducer merges its bucket column from every
+    // map task, groups in sorted key order, and reduces. The columns are
+    // owned outside the scope; attempts clone records while grouping so a
+    // retry (or a speculative twin) can always start from pristine input.
 
     struct ReducePayload<O> {
         outputs: Vec<O>,
         metrics: TaskMetrics,
     }
 
+    let reduce_phase_span = ha_obs::span("mr.reduce_phase");
+    let reduce_ctx = ha_obs::current_context();
     let reduce_attempt = |task_idx: usize, attempt: u32| -> Result<ReducePayload<O>, AttemptError> {
         let task = TaskId::reduce(task_idx);
         let buckets = &reducer_inputs[task_idx];
         run_attempt(faults, task, attempt, || {
+            let _task_span =
+                ha_obs::span_labeled_under("mr.reduce_task", || task.to_string(), &reduce_ctx);
             let start = Instant::now();
+            // Sort pass: merge the bucket column into sorted key order
+            // (Hadoop's merge-sort before the reduce call).
             let mut grouped: BTreeMap<K, Vec<V>> = BTreeMap::new();
             let mut records_in = 0usize;
-            for bucket in buckets {
-                for (k, v) in bucket {
-                    records_in += 1;
-                    grouped.entry(k.clone()).or_default().push(v.clone());
+            {
+                let _sort_span = ha_obs::span("mr.sort");
+                for bucket in buckets {
+                    for (k, v) in bucket {
+                        records_in += 1;
+                        grouped.entry(k.clone()).or_default().push(v.clone());
+                    }
                 }
             }
             let mut outputs = Vec::new();
-            for (k, vs) in grouped {
-                reducer(&k, vs, &mut outputs);
+            {
+                let _reduce_span = ha_obs::span("mr.reduce");
+                for (k, vs) in grouped {
+                    reducer(&k, vs, &mut outputs);
+                }
             }
             let records_out = outputs.len();
             Ok(ReducePayload {
@@ -655,7 +717,33 @@ where
         metrics.reduce_tasks.push(task_metrics);
         outputs.extend(payload.outputs);
     }
+    drop(reduce_phase_span);
     metrics.elapsed = job_start.elapsed();
+
+    // Mirror the job's metrics into the central registry under stable
+    // `mr.*` names (the is_enabled guard skips the formatting when off).
+    if ha_obs::is_enabled() {
+        ha_obs::add("mr.jobs", 1);
+        ha_obs::add("mr.map_tasks", metrics.map_tasks.len() as u64);
+        ha_obs::add("mr.reduce_tasks", metrics.reduce_tasks.len() as u64);
+        ha_obs::add("mr.shuffle_bytes", metrics.shuffle_bytes as u64);
+        ha_obs::add(
+            &format!("mr.shuffle_bytes/{}", metrics.job_name),
+            metrics.shuffle_bytes as u64,
+        );
+        ha_obs::add("mr.task_attempts", u64::from(metrics.total_attempts()));
+        ha_obs::add("mr.task_failures", u64::from(metrics.total_failures()));
+        ha_obs::add(
+            "mr.task_speculative",
+            u64::from(metrics.speculative_launches()),
+        );
+        for t in &metrics.map_tasks {
+            ha_obs::observe("mr.map_task_ns", t.duration);
+        }
+        for t in &metrics.reduce_tasks {
+            ha_obs::observe("mr.reduce_task_ns", t.duration);
+        }
+    }
     Ok(JobResult { outputs, metrics })
 }
 

@@ -1,0 +1,69 @@
+//! Minimal RFC 8259 emission helpers.
+//!
+//! The workspace is built offline (no serde); every machine-readable
+//! output — the experiment harness's `--json` tables and this crate's
+//! JSON-lines traces — goes through these two functions, so the escaping
+//! rules live in exactly one place.
+
+/// Escapes and quotes a string per RFC 8259: `"` and `\` are escaped,
+/// control characters become `\n`/`\r`/`\t` or `\u00XX`, everything else
+/// passes through as UTF-8.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `["a", "b", …]` from a slice of strings.
+pub fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_are_quoted_verbatim() {
+        assert_eq!(json_string("abc"), "\"abc\"");
+        assert_eq!(json_string(""), "\"\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(
+            json_string("he said \"hi\"\\\n\u{1}"),
+            "\"he said \\\"hi\\\"\\\\\\n\\u0001\""
+        );
+        assert_eq!(json_string("a\tb\r"), "\"a\\tb\\r\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(json_string("λ→µ"), "\"λ→µ\"");
+    }
+
+    #[test]
+    fn arrays_join_with_commas() {
+        assert_eq!(
+            json_string_array(&["a".into(), "b\"c".into()]),
+            "[\"a\", \"b\\\"c\"]"
+        );
+        assert_eq!(json_string_array(&[]), "[]");
+    }
+}

@@ -1,0 +1,159 @@
+//! Pluggable trace sinks: where a drained [`Trace`](crate::Trace) goes.
+//!
+//! Three built-ins cover the workspace's needs:
+//!
+//! * [`MemorySink`] — keeps the traces it consumed; for tests.
+//! * [`JsonLinesSink`] — one JSON object per line (spans, then events,
+//!   then counters, then histograms), the format the experiments
+//!   binary's `--trace <path>` flag writes.
+//! * [`FlameSink`] — an indented flame-style text dump of the span tree
+//!   with durations and percent-of-root, for eyeballing where time went.
+
+use std::io::{self, Write};
+
+use crate::Trace;
+
+/// A consumer of drained traces. Implementations must not assume spans
+/// arrive in any particular order beyond what [`Trace`] guarantees
+/// (records are sorted by start time before sinks see them).
+pub trait Sink {
+    /// Consumes one trace. Called with the complete drained trace; an
+    /// error aborts the drain and surfaces to the caller.
+    fn consume(&mut self, trace: &Trace) -> io::Result<()>;
+}
+
+/// Keeps every consumed trace in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Traces in consumption order.
+    pub traces: Vec<Trace>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        self.traces.push(trace.clone());
+        Ok(())
+    }
+}
+
+/// Writes traces as JSON lines (RFC 8259, one object per line) to any
+/// `io::Write`. Each line carries a `"type"` tag: `span`, `event`,
+/// `counter`, or `histogram`.
+pub struct JsonLinesSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink { writer }
+    }
+
+    /// Unwraps the inner writer (flushing is the caller's business).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        self.writer.write_all(trace.to_json_lines().as_bytes())
+    }
+}
+
+/// Renders the span tree as indented text with durations — a
+/// flame-graph squinted at through a terminal.
+pub struct FlameSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> FlameSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        FlameSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for FlameSink<W> {
+    fn consume(&mut self, trace: &Trace) -> io::Result<()> {
+        self.writer.write_all(trace.render_flame().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsSnapshot, SpanRecord};
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "job",
+                    label: "wordcount".into(),
+                    start_ns: 0,
+                    end_ns: 1000,
+                    thread: 0,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "map",
+                    label: String::new(),
+                    start_ns: 100,
+                    end_ns: 600,
+                    thread: 1,
+                },
+            ],
+            events: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn memory_sink_keeps_traces() {
+        let mut sink = MemorySink::new();
+        sink.consume(&sample_trace()).unwrap();
+        sink.consume(&sample_trace()).unwrap();
+        assert_eq!(sink.traces.len(), 2);
+        assert_eq!(sink.traces[0].spans.len(), 2);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_line() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.consume(&sample_trace()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"parent\":1"));
+    }
+
+    #[test]
+    fn flame_sink_indents_children() {
+        let mut sink = FlameSink::new(Vec::new());
+        sink.consume(&sample_trace()).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("job"), "{text}");
+        let job_line = text.lines().find(|l| l.contains("job")).unwrap();
+        let map_line = text.lines().find(|l| l.contains("map")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(map_line) > indent(job_line), "{text}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests of span correctness: arbitrary nested open/close
+//! sequences, across threads, with both RAII-ordered and shuffled
+//! (out-of-order) guard drops, must always yield a **well-formed tree**
+//! — every parent link resolves, no cycles, every duration non-negative
+//! — and RAII-nested spans must additionally satisfy interval
+//! containment (a child's lifetime lies within its parent's).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use ha_obs::{SpanContext, SpanRecord, Trace};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The collector is process-global; every test (and case) serializes
+/// through this lock.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Recursive RAII nesting: open up to `width` spans at each level, each
+/// nesting up to `depth` more levels under itself.
+fn nest(rng: &mut StdRng, depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    let width = rng.gen_range(0..3);
+    for _ in 0..width {
+        let _g = ha_obs::span("t.nest");
+        nest(rng, depth - 1);
+    }
+}
+
+/// Out-of-order closing: open a run of sibling spans, keep all guards,
+/// then drop them in a shuffled order. The recorded spans must still
+/// form a tree (the stack self-heals by truncation).
+fn wild(rng: &mut StdRng) {
+    let n = rng.gen_range(0..5);
+    let mut guards: Vec<_> = (0..n).map(|_| ha_obs::span("t.wild")).collect();
+    while !guards.is_empty() {
+        let i = rng.gen_range(0..guards.len());
+        drop(guards.swap_remove(i));
+    }
+}
+
+fn span_by_id(trace: &Trace, id: u64) -> Option<&SpanRecord> {
+    trace.spans.iter().find(|s| s.id == id)
+}
+
+/// Walks parent links from `s`; panics on a dangling link, fails (None)
+/// on a cycle longer than the span count.
+fn root_of<'t>(trace: &'t Trace, s: &'t SpanRecord) -> Option<&'t SpanRecord> {
+    let mut cur = s;
+    for _ in 0..=trace.spans.len() {
+        match cur.parent {
+            None => return Some(cur),
+            Some(p) => {
+                cur = span_by_id(trace, p)?;
+            }
+        }
+    }
+    None // cycle
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary nested open/close across threads → well-formed tree
+    /// with non-negative durations, all thread work parented under the
+    /// driver's root span.
+    #[test]
+    fn arbitrary_cross_thread_nesting_yields_a_well_formed_tree(
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        let _g = lock();
+        ha_obs::reset();
+        let root_id;
+        {
+            let root = ha_obs::span("root");
+            root_id = root.id().expect("tracing is on");
+            let ctx = ha_obs::current_context();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let ctx: SpanContext = ctx.clone();
+                    let seed = seed.wrapping_add(t as u64);
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let _tr = ha_obs::span_under("t.root", &ctx);
+                        nest(&mut rng, 3);
+                        wild(&mut rng);
+                    });
+                }
+            });
+        }
+        let trace = ha_obs::take_trace();
+        ha_obs::disable();
+
+        // Every span closed: root + one t.root per thread + whatever the
+        // programs opened (they all dropped inside the scope).
+        prop_assert_eq!(trace.count_named("root"), 1);
+        prop_assert_eq!(trace.count_named("t.root"), threads);
+
+        for s in &trace.spans {
+            // Non-negative duration, monotonic timestamps.
+            prop_assert!(s.end_ns >= s.start_ns, "span {} runs backwards", s.id);
+            // Parent links resolve and terminate (no cycles, no danglers).
+            let root = root_of(&trace, s);
+            prop_assert!(root.is_some(), "span {} has a broken ancestry", s.id);
+            prop_assert_eq!(root.map(|r| r.id), Some(root_id), "one tree");
+        }
+
+        // Thread roots hang directly under the driver root.
+        for tr in trace.spans.iter().filter(|s| s.name == "t.root") {
+            prop_assert_eq!(tr.parent, Some(root_id));
+        }
+
+        // RAII-nested spans respect interval containment.
+        for s in trace.spans.iter().filter(|s| s.name == "t.nest") {
+            let p = s.parent.and_then(|p| span_by_id(&trace, p)).expect("resolved above");
+            prop_assert!(
+                p.start_ns <= s.start_ns && s.end_ns <= p.end_ns,
+                "child [{}, {}] escapes parent [{}, {}]",
+                s.start_ns, s.end_ns, p.start_ns, p.end_ns
+            );
+        }
+
+        // The flame view renders every span exactly once.
+        let flame = trace.render_flame();
+        prop_assert_eq!(flame.lines().count(), trace.spans.len());
+        // The JSON-lines view emits one object per span.
+        let json = trace.to_json_lines();
+        prop_assert_eq!(json.lines().count(), trace.spans.len());
+        prop_assert!(json.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    /// Shuffled drops alone (no threads): still a tree, still rendered.
+    #[test]
+    fn out_of_order_drops_self_heal(seed in any::<u64>()) {
+        let _g = lock();
+        ha_obs::reset();
+        let mut rng = StdRng::seed_from_u64(seed);
+        {
+            let _outer = ha_obs::span("outer");
+            for _ in 0..rng.gen_range(1..4) {
+                wild(&mut rng);
+            }
+        }
+        let trace = ha_obs::take_trace();
+        ha_obs::disable();
+        for s in &trace.spans {
+            prop_assert!(s.end_ns >= s.start_ns);
+            prop_assert!(root_of(&trace, s).is_some());
+        }
+        prop_assert_eq!(trace.roots().len(), 1);
+    }
+}

@@ -25,6 +25,27 @@
 //! distribution, cache hits/misses/evictions, admission rejections, and
 //! per-shard latency histograms — in the style of the MapReduce layer's
 //! `JobMetrics`.
+//!
+//! # Example
+//!
+//! ```
+//! use ha_bitcode::BinaryCode;
+//! use ha_service::{HaServe, ServeConfig, ServiceError};
+//!
+//! fn main() -> Result<(), ServiceError> {
+//!     let codes = (0..256u64).map(|i| (BinaryCode::from_u64(i, 16), i));
+//!     let serve = HaServe::build(16, codes, ServeConfig::default())?;
+//!
+//!     let query = BinaryCode::from_u64(9, 16);
+//!     let ids = serve.select(&query, 1)?;          // exact Hamming-select
+//!     assert!(ids.contains(&9) && ids.contains(&8));
+//!     let near = serve.knn(&query, 5)?;            // top-5 (id, distance)
+//!     assert_eq!(near[0], (9, 0));
+//!     serve.insert(BinaryCode::from_u64(900, 16), 900)?; // epoch++ → cache invalid
+//!     assert_eq!(serve.metrics().selects, 1);
+//!     Ok(())
+//! }
+//! ```
 
 mod cache;
 mod error;

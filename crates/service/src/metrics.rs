@@ -6,70 +6,11 @@
 
 use std::time::Duration;
 
-/// Number of power-of-two latency buckets: bucket `i` covers
-/// `[2^i, 2^{i+1})` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
-const BUCKETS: usize = 40;
-
-/// A fixed-size log₂ latency histogram. Recording is O(1) and lock-cheap
-/// (one array increment); quantiles are read off the cumulative counts
-/// and reported as the upper bound of the containing bucket, so they
-/// never under-state a latency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    // [u64; 40] has no derived Default (arrays cap at 32).
-    fn default() -> Self {
-        LatencyHistogram { counts: [0; BUCKETS] }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one sample. Sub-nanosecond (zero) durations land in the
-    /// first bucket.
-    pub fn record(&mut self, sample: Duration) {
-        let ns = (sample.as_nanos() as u64).max(1);
-        let bucket = (63 - ns.leading_zeros() as usize).min(BUCKETS - 1);
-        self.counts[bucket] += 1;
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// The `q`-quantile (`q` in `[0, 1]`), as the upper bound of the
-    /// bucket containing that rank. [`Duration::ZERO`] when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_nanos((2u64 << i) - 1);
-            }
-        }
-        Duration::ZERO
-    }
-
-    /// Folds another histogram into this one (cross-shard aggregation).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-    }
-}
+/// The log₂ latency histogram, now shared workspace-wide. The type moved
+/// to [`ha_obs::Histogram`] when the central metrics registry landed;
+/// this alias keeps the serving layer's original name (and every caller)
+/// working unchanged.
+pub use ha_obs::Histogram as LatencyHistogram;
 
 /// Per-shard serving statistics.
 #[derive(Clone, Debug, Default)]

@@ -89,18 +89,35 @@ fn owner(code: &BinaryCode, shards: usize) -> usize {
     (fnv64(&code.to_packed_bytes()) % shards as u64) as usize
 }
 
-/// A queued request.
+/// A queued request. `queued` carries the admission timestamp when
+/// tracing is on (`None` otherwise), so the processing side can report
+/// queue-wait separately from execution.
 enum Work {
     Select {
         code: BinaryCode,
         h: u32,
+        queued: Option<Instant>,
         tx: mpsc::Sender<Vec<TupleId>>,
     },
     Knn {
         code: BinaryCode,
         k: usize,
+        queued: Option<Instant>,
         tx: mpsc::Sender<Vec<(TupleId, u32)>>,
     },
+}
+
+/// Timestamp for [`Work::Select::queued`]: taken only when tracing is on.
+fn queued_stamp() -> Option<Instant> {
+    ha_obs::is_enabled().then(Instant::now)
+}
+
+/// Records queue wait (admission → start of processing) for every
+/// stamped request in a batch.
+fn observe_queue_wait(queued: &[Option<Instant>]) {
+    for q in queued.iter().flatten() {
+        ha_obs::observe("serve.queue_wait_ns", q.elapsed());
+    }
 }
 
 /// A batch a worker pulled off the queue: either one kNN or a group of
@@ -109,11 +126,13 @@ enum Batch {
     Select {
         h: u32,
         codes: Vec<BinaryCode>,
+        queued: Vec<Option<Instant>>,
         txs: Vec<mpsc::Sender<Vec<TupleId>>>,
     },
     Knn {
         code: BinaryCode,
         k: usize,
+        queued: Option<Instant>,
         tx: mpsc::Sender<Vec<(TupleId, u32)>>,
     },
 }
@@ -124,23 +143,48 @@ enum Batch {
 /// preserving FIFO order *within* a radius class.
 fn take_batch(queue: &mut VecDeque<Work>, max_batch: usize) -> Option<Batch> {
     match queue.pop_front()? {
-        Work::Knn { code, k, tx } => Some(Batch::Knn { code, k, tx }),
-        Work::Select { code, h, tx } => {
+        Work::Knn {
+            code,
+            k,
+            queued,
+            tx,
+        } => Some(Batch::Knn {
+            code,
+            k,
+            queued,
+            tx,
+        }),
+        Work::Select {
+            code,
+            h,
+            queued,
+            tx,
+        } => {
             let mut codes = vec![code];
+            let mut queued_at = vec![queued];
             let mut txs = vec![tx];
             let mut i = 0;
             while i < queue.len() && codes.len() < max_batch.max(1) {
                 let same = matches!(queue.get(i), Some(Work::Select { h: qh, .. }) if *qh == h);
                 if same {
-                    if let Some(Work::Select { code, tx, .. }) = queue.remove(i) {
+                    if let Some(Work::Select {
+                        code, queued, tx, ..
+                    }) = queue.remove(i)
+                    {
                         codes.push(code);
+                        queued_at.push(queued);
                         txs.push(tx);
                     }
                 } else {
                     i += 1;
                 }
             }
-            Some(Batch::Select { h, codes, txs })
+            Some(Batch::Select {
+                h,
+                codes,
+                queued: queued_at,
+                txs,
+            })
         }
     }
 }
@@ -374,6 +418,7 @@ impl HaServe {
             if q.len() >= self.inner.cfg.queue_capacity {
                 drop(q);
                 self.inner.state.lock().rejected += 1;
+                ha_obs::add("serve.rejected", 1);
                 return Err(ServiceError::Overloaded {
                     capacity: self.inner.cfg.queue_capacity,
                 });
@@ -393,6 +438,7 @@ impl HaServe {
         self.enqueue(Work::Select {
             code: code.clone(),
             h,
+            queued: queued_stamp(),
             tx,
         })?;
         Ok(SelectTicket { rx })
@@ -405,6 +451,7 @@ impl HaServe {
         self.enqueue(Work::Knn {
             code: code.clone(),
             k,
+            queued: queued_stamp(),
             tx,
         })?;
         Ok(KnnTicket { rx })
@@ -443,6 +490,7 @@ impl HaServe {
             self.inner.epoch.fetch_add(1, Ordering::SeqCst);
         }
         self.inner.state.lock().inserts += 1;
+        ha_obs::add("serve.inserts", 1);
         Ok(())
     }
 
@@ -461,6 +509,7 @@ impl HaServe {
         };
         if removed {
             self.inner.state.lock().deletes += 1;
+            ha_obs::add("serve.deletes", 1);
         }
         Ok(removed)
     }
@@ -590,8 +639,24 @@ fn worker_loop(inner: &Inner) {
 impl Inner {
     fn process(&self, batch: Batch) {
         match batch {
-            Batch::Select { h, codes, txs } => self.process_select_batch(h, codes, txs),
-            Batch::Knn { code, k, tx } => self.process_knn(&code, k, tx),
+            Batch::Select {
+                h,
+                codes,
+                queued,
+                txs,
+            } => {
+                observe_queue_wait(&queued);
+                self.process_select_batch(h, codes, txs)
+            }
+            Batch::Knn {
+                code,
+                k,
+                queued,
+                tx,
+            } => {
+                observe_queue_wait(&[queued]);
+                self.process_knn(&code, k, tx)
+            }
         }
     }
 
@@ -602,12 +667,15 @@ impl Inner {
         codes: Vec<BinaryCode>,
         txs: Vec<mpsc::Sender<Vec<TupleId>>>,
     ) {
+        let _batch_span =
+            ha_obs::span_labeled("serve.batch", || format!("h={h} size={}", codes.len()));
         // Cache pass: answers computed at the current epoch serve
         // directly; the rest form the executed batch.
         let mut hit_replies: Vec<(mpsc::Sender<Vec<TupleId>>, Vec<TupleId>)> = Vec::new();
         let mut miss_codes: Vec<BinaryCode> = Vec::new();
         let mut miss_txs: Vec<mpsc::Sender<Vec<TupleId>>> = Vec::new();
         {
+            let _cache_span = ha_obs::span("serve.cache_lookup");
             let epoch = self.epoch.load(Ordering::SeqCst);
             let mut cache = self.cache.lock();
             for (code, tx) in codes.into_iter().zip(txs) {
@@ -624,6 +692,7 @@ impl Inner {
         let mut merged: Vec<Vec<TupleId>> = Vec::new();
         let mut probe_times: Vec<(usize, Duration)> = Vec::new();
         if !miss_codes.is_empty() {
+            let _exec_span = ha_obs::span("serve.exec");
             // Hold every shard read lock for the whole batch: mutations
             // bump the epoch under a shard *write* lock, so the epoch is
             // frozen here and the answers (and the cache entries tagged
@@ -637,7 +706,11 @@ impl Inner {
             for off in 0..nshards {
                 let s = (start + off) % nshards;
                 let t0 = Instant::now();
-                let per_query = guards[s].batch_search(&miss_codes, h);
+                let per_query = {
+                    let _probe_span =
+                        ha_obs::span_labeled("serve.shard_probe", || format!("shard={s}"));
+                    guards[s].batch_search(&miss_codes, h)
+                };
                 probe_times.push((s, t0.elapsed()));
                 for (qi, ids) in per_query.into_iter().enumerate() {
                     merged[qi].extend(ids);
@@ -669,6 +742,22 @@ impl Inner {
                 }
             }
         }
+        if ha_obs::is_enabled() {
+            ha_obs::add("serve.selects", (hit_replies.len() + miss_codes.len()) as u64);
+            ha_obs::add("serve.cache_hits", hit_replies.len() as u64);
+            ha_obs::add("serve.cache_misses", miss_codes.len() as u64);
+            if !miss_codes.is_empty() {
+                ha_obs::add("serve.batches_formed", 1);
+                for &(_, dt) in &probe_times {
+                    ha_obs::observe("serve.shard_probe_ns", dt);
+                }
+            }
+            ha_obs::emit(|| ha_obs::Event::ServeBatch {
+                h,
+                executed: miss_codes.len(),
+                cache_hits: hit_replies.len(),
+            });
+        }
 
         for (tx, ids) in hit_replies {
             let _ = tx.send(ids);
@@ -683,6 +772,7 @@ impl Inner {
     /// code), then rank by `(distance, id)`. Exact distances come free
     /// off the HA-Index path sums.
     fn process_knn(&self, code: &BinaryCode, k: usize, tx: mpsc::Sender<Vec<(TupleId, u32)>>) {
+        let _knn_span = ha_obs::span_labeled("serve.knn", || format!("k={k}"));
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let total: usize = guards.iter().map(|g| g.len()).sum();
         let k_eff = k.min(total);
@@ -706,6 +796,8 @@ impl Inner {
         }
         drop(guards);
         self.state.lock().knns += 1;
+        ha_obs::add("serve.knns", 1);
+        ha_obs::emit(|| ha_obs::Event::ServeKnn { k });
         let _ = tx.send(result);
     }
 }

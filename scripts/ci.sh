@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate for the workspace (see README.md). Everything here must
-# stay green: release build, the full default test suite, and the
+# stay green: release build, the full default test suite, the
 # targeted robustness/audit suites (fault-injection matrix, storage
-# chaos, serving-layer concurrency, panic audit of the typed-error
-# crates).
+# chaos, serving-layer concurrency, observability equivalence, panic
+# audit of the typed-error crates), and the documentation gate
+# (warning-free rustdoc plus every doctest — including the fenced
+# examples in README.md and docs/, compiled via `include_str!` doctest
+# shims in src/lib.rs, so the prose cannot drift from the API).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,11 +15,25 @@ run() {
     "$@"
 }
 
+# The first-party crates, named explicitly: `--workspace` would also pull
+# in the vendored dependency shims under vendor/, which are not held to
+# the documentation bar.
+CRATES=(
+    -p hamming-suite -p ha-obs -p ha-bitcode -p ha-hashing -p ha-core
+    -p ha-knn -p ha-mapreduce -p ha-datagen -p ha-distributed
+    -p ha-service -p ha-bench
+)
+
 run cargo build --release
 run cargo test -q
 run cargo test -q --test mapreduce_robustness
 run cargo test -q --test storage_robustness
 run cargo test -q --test serve_concurrency
+run cargo test -q --test observability
 run cargo test -q --test panic_audit
+
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps ${CRATES[*]}"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${CRATES[@]}" >/dev/null
+run cargo test -q --doc "${CRATES[@]}"
 
 echo "==> tier-1 green"

@@ -17,6 +17,7 @@
 //! | [`datagen`] | `ha-datagen` | dataset profiles, sampling, scale-up |
 //! | [`distributed`] | `ha-distributed` | MR Hamming-join, PMH & PGBJ |
 //! | [`service`] | `ha-service` | HA-Serve: online sharded query serving |
+//! | [`obs`] | `ha-obs` | HA-Trace: spans, events, metrics, sinks |
 //!
 //! ## Quickstart
 //!
@@ -46,4 +47,21 @@ pub use ha_distributed as distributed;
 pub use ha_hashing as hashing;
 pub use ha_knn as knn;
 pub use ha_mapreduce as mapreduce;
+pub use ha_obs as obs;
 pub use ha_service as service;
+
+// Compile-check the `rust` code blocks of the README and the docs/
+// pages as doctests, so the documentation can't drift from the API it
+// shows. (Blocks not meant to compile are fenced `text`/`bash`/
+// `console`; rustdoc only builds `rust`/unannotated fences.)
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+pub struct ObservabilityDoctests;

@@ -1,0 +1,338 @@
+//! HA-Trace ↔ legacy-metrics equivalence: the "no parallel truth" rule.
+//!
+//! Every subsystem keeps its own typed metrics (`JobMetrics`,
+//! `DfsMetrics`, `ServeMetrics`); the observability registry mirrors
+//! them through `ha_obs::add`/`observe` hooks at the same call sites.
+//! If the two ever disagree, one of them is lying. These tests run
+//! seeded chaos workloads (injected task faults, corrupted replicas, a
+//! mixed serving workload) with tracing enabled and assert the registry
+//! totals equal the legacy counters **exactly** — not approximately.
+//!
+//! They also pin the structural guarantees the `trace` experiment relies
+//! on: phase spans nest under the job root and account for its wall
+//! time, and the JSON-lines export is one well-formed object per line.
+//!
+//! Tracing state is process-global, so every test serialises on one
+//! mutex and starts from `ha_obs::reset()`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::mapreduce::{
+    hash_partition, run_job_with_faults, try_run_job, DfsConfig, FaultInjector, FaultPlan,
+    InMemoryDfs, JobConfig, StorageFaultPlan, TaskId,
+};
+use hamming_suite::obs;
+use hamming_suite::service::{HaServe, ServeConfig};
+
+/// Serialises tests touching the process-global collector. Poisoning is
+/// absorbed: a failed test must not cascade into the rest of the suite.
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Word-count inputs with enough lines for several map tasks.
+fn lines() -> Vec<String> {
+    vec![
+        "the quick brown fox jumps over the lazy dog".to_string(),
+        "pack my box with five dozen liquor jugs".to_string(),
+        "how vexingly quick daft zebras jump".to_string(),
+        "sphinx of black quartz judge my vow".to_string(),
+    ]
+}
+
+fn word_count_job(
+    config: &JobConfig,
+    injector: &FaultInjector,
+) -> hamming_suite::mapreduce::JobResult<(String, u64)> {
+    run_job_with_faults(
+        config,
+        lines(),
+        |line: String, emit: &mut dyn FnMut(String, u64)| {
+            for word in line.split_whitespace() {
+                emit(word.to_string(), 1);
+            }
+        },
+        hash_partition,
+        |word: &String, counts: Vec<u64>, out: &mut Vec<(String, u64)>| {
+            out.push((word.clone(), counts.into_iter().sum::<u64>()));
+        },
+        injector,
+    )
+    .expect("job succeeds despite transient faults")
+}
+
+#[test]
+fn registry_mirrors_job_metrics_under_faults() {
+    let _guard = obs_lock();
+    obs::reset();
+
+    let injector = FaultInjector::new(
+        FaultPlan::new()
+            .transient(TaskId::map(0), 0)
+            .transient(TaskId::reduce(1), 0),
+    );
+    let config = JobConfig::named("obs-equivalence")
+        .with_workers(2)
+        .with_reducers(3);
+    let result = word_count_job(&config, &injector);
+    let metrics = &result.metrics;
+
+    let trace = obs::take_trace();
+    obs::disable();
+
+    // Counter ↔ JobMetrics equivalence, field by field.
+    assert_eq!(trace.counter("mr.jobs"), 1);
+    assert_eq!(trace.counter("mr.map_tasks"), metrics.map_tasks.len() as u64);
+    assert_eq!(
+        trace.counter("mr.reduce_tasks"),
+        metrics.reduce_tasks.len() as u64
+    );
+    assert_eq!(
+        trace.counter("mr.shuffle_bytes"),
+        metrics.shuffle_bytes as u64
+    );
+    assert_eq!(
+        trace.counter("mr.shuffle_bytes/obs-equivalence"),
+        metrics.shuffle_bytes as u64
+    );
+    assert_eq!(
+        trace.counter("mr.task_attempts"),
+        u64::from(metrics.total_attempts())
+    );
+    assert_eq!(
+        trace.counter("mr.task_failures"),
+        u64::from(metrics.total_failures())
+    );
+    assert_eq!(
+        trace.counter("mr.task_speculative"),
+        u64::from(metrics.speculative_launches())
+    );
+    // The chaos actually fired: both injected transients were recorded.
+    assert_eq!(metrics.total_failures(), 2);
+
+    // Latency histograms sample exactly once per completed task.
+    assert_eq!(
+        trace.metrics.histogram("mr.map_task_ns").count(),
+        metrics.map_tasks.len() as u64
+    );
+    assert_eq!(
+        trace.metrics.histogram("mr.reduce_task_ns").count(),
+        metrics.reduce_tasks.len() as u64
+    );
+
+    // One launch event per attempt, exactly mirroring the attempt count.
+    let attempt_events = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, obs::Event::TaskAttempt { .. }))
+        .count();
+    assert_eq!(attempt_events as u64, u64::from(metrics.total_attempts()));
+}
+
+#[test]
+fn registry_mirrors_dfs_metrics_under_storage_faults() {
+    let _guard = obs_lock();
+    obs::reset();
+
+    // Every block's primary replica is corrupt: each read must detect
+    // the bad checksum, fail over, serve degraded, and re-replicate.
+    let dfs = InMemoryDfs::with_faults(
+        DfsConfig::default(),
+        StorageFaultPlan::new().corrupt_primaries_everywhere(),
+    );
+    let records: Vec<u64> = (0..10).collect();
+    dfs.put_with_blocks("codes", records.clone(), 3, 8);
+    let splits = dfs.try_splits::<u64>("codes").expect("degraded read succeeds");
+    assert_eq!(splits.concat(), records);
+
+    let metrics = dfs.metrics();
+    let trace = obs::take_trace();
+    obs::disable();
+
+    assert_eq!(
+        trace.counter("dfs.bytes_written"),
+        metrics.bytes_written as u64
+    );
+    assert_eq!(
+        trace.counter("dfs.corrupt_blocks_detected"),
+        metrics.corrupt_blocks_detected
+    );
+    assert_eq!(trace.counter("dfs.failovers"), metrics.failovers);
+    assert_eq!(trace.counter("dfs.degraded_reads"), metrics.degraded_reads);
+    assert_eq!(
+        trace.counter("dfs.re_replications"),
+        metrics.re_replications
+    );
+    // The chaos actually fired: 10 records at 3 per block is 4 blocks,
+    // each with a corrupt primary.
+    assert_eq!(metrics.corrupt_blocks_detected, 4);
+    assert_eq!(metrics.degraded_reads, 4);
+
+    // The write and the read each left a labelled span.
+    assert_eq!(trace.count_named("dfs.write"), 1);
+    assert_eq!(trace.count_named("dfs.read"), 1);
+}
+
+#[test]
+fn registry_mirrors_serve_metrics() {
+    let _guard = obs_lock();
+    obs::reset();
+
+    let codes: Vec<(BinaryCode, u64)> =
+        (0..512).map(|i| (BinaryCode::from_u64(i, 32), i)).collect();
+    let serve =
+        HaServe::build(32, codes, ServeConfig::default()).expect("service builds");
+
+    let query = BinaryCode::from_u64(5, 32);
+    let first = serve.select(&query, 2).expect("select");
+    let second = serve.select(&query, 2).expect("repeat select");
+    assert_eq!(first, second); // epoch unchanged → guaranteed cache hit
+    serve.knn(&query, 7).expect("knn");
+    serve.insert(BinaryCode::from_u64(900, 32), 900).expect("insert");
+    serve.select(&query, 2).expect("post-insert select"); // epoch bumped → miss
+    assert!(serve.delete(&BinaryCode::from_u64(900, 32), 900).expect("delete"));
+
+    let m = serve.metrics();
+    // Joining the workers guarantees every registry hook has run.
+    drop(serve);
+    let trace = obs::take_trace();
+    obs::disable();
+
+    assert_eq!(trace.counter("serve.selects"), m.selects);
+    assert_eq!(trace.counter("serve.cache_hits"), m.cache_hits);
+    assert_eq!(trace.counter("serve.cache_misses"), m.cache_misses);
+    assert_eq!(trace.counter("serve.batches_formed"), m.batches_formed);
+    assert_eq!(trace.counter("serve.inserts"), m.inserts);
+    assert_eq!(trace.counter("serve.deletes"), m.deletes);
+    assert_eq!(trace.counter("serve.knns"), m.knns);
+    assert_eq!(trace.counter("serve.rejected"), m.rejected);
+    // The workload shape itself: 3 selects, exactly 1 served from cache.
+    assert_eq!(m.selects, 3);
+    assert_eq!(m.cache_hits, 1);
+    assert_eq!(m.knns, 1);
+
+    // Each executed batch probes every shard once.
+    assert_eq!(
+        trace.metrics.histogram("serve.shard_probe_ns").count(),
+        m.batches_formed * 4
+    );
+    // Queue wait is observed for every batch (selects and the knn).
+    assert!(trace.metrics.histogram("serve.queue_wait_ns").count() >= m.batches_formed);
+}
+
+#[test]
+fn job_phase_spans_account_for_job_wall_time() {
+    let _guard = obs_lock();
+    obs::reset();
+
+    let config = JobConfig::named("obs-accounting")
+        .with_workers(2)
+        .with_reducers(2);
+    word_count_job(&config, &FaultInjector::none());
+
+    let trace = obs::take_trace();
+    obs::disable();
+
+    let root = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "mr.job")
+        .expect("job root span");
+    let phases: Vec<_> = trace
+        .children(root.id)
+        .into_iter()
+        .filter(|s| {
+            matches!(s.name, "mr.map_phase" | "mr.shuffle" | "mr.reduce_phase")
+        })
+        .collect();
+    assert_eq!(phases.len(), 3, "all three phases nest under the job root");
+
+    // Phases run sequentially inside the root, so their durations sum to
+    // at most the root's — and, the supervisor doing little else, to at
+    // least half of it even on a noisy CI box.
+    let root_ns = root.end_ns - root.start_ns;
+    let phase_ns: u64 = phases.iter().map(|s| s.end_ns - s.start_ns).sum();
+    assert!(phase_ns <= root_ns, "children cannot outlast their parent");
+    assert!(
+        phase_ns * 2 >= root_ns,
+        "phases cover {phase_ns}ns of a {root_ns}ns job — accounting hole"
+    );
+
+    // Task spans parent under their phase, not under the root, even
+    // though they run on worker threads (cross-thread span_under).
+    let map_phase = phases.iter().find(|s| s.name == "mr.map_phase").expect("map phase");
+    let map_tasks: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "mr.map_task")
+        .collect();
+    assert!(!map_tasks.is_empty());
+    assert!(map_tasks.iter().all(|s| s.parent == Some(map_phase.id)));
+}
+
+#[test]
+fn json_lines_export_is_one_object_per_line() {
+    let _guard = obs_lock();
+    obs::reset();
+
+    let config = JobConfig::named("obs-json").with_workers(2).with_reducers(2);
+    word_count_job(&config, &FaultInjector::none());
+
+    let trace = obs::take_trace();
+    obs::disable();
+
+    let text = trace.to_json_lines();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        trace.spans.len() + trace.events.len() + trace.metrics.counters.len()
+            + trace.metrics.histograms.len(),
+        "one line per span, event, counter, and histogram"
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "malformed JSON line: {line}"
+        );
+    }
+    for kind in ["span", "event", "counter", "histogram"] {
+        assert!(
+            lines.iter().any(|l| l.starts_with(&format!("{{\"type\":\"{kind}\""))),
+            "no {kind} line in the export"
+        );
+    }
+}
+
+// Cheap sanity for the equivalence tests above: a job run with tracing
+// *disabled* must leave the registry untouched when tracing is turned on
+// afterwards — hooks are genuinely gated, not buffered.
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = obs_lock();
+    obs::disable();
+
+    let config = JobConfig::named("obs-off").with_workers(2).with_reducers(2);
+    let result = try_run_job(
+        &config,
+        lines(),
+        |line: String, emit: &mut dyn FnMut(String, u64)| {
+            for word in line.split_whitespace() {
+                emit(word.to_string(), 1);
+            }
+        },
+        |word: &String, counts: Vec<u64>, out: &mut Vec<(String, u64)>| {
+            out.push((word.clone(), counts.into_iter().sum::<u64>()));
+        },
+    )
+    .expect("job runs");
+    assert!(!result.outputs.is_empty());
+
+    obs::reset();
+    let trace = obs::take_trace();
+    obs::disable();
+    assert!(trace.spans.is_empty());
+    assert!(trace.events.is_empty());
+    assert_eq!(trace.counter("mr.jobs"), 0);
+}

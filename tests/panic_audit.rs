@@ -12,6 +12,12 @@
 //! new `.unwrap()` / `.expect(` / `panic!(` / `unreachable!(` in lib code
 //! fails the audit until it is either converted to a typed error or
 //! consciously added to the budget below.
+//!
+//! The observability layer (`ha-obs`) is held to the same zero budget as
+//! the serving layer: instrumentation runs inside *every* other
+//! subsystem, so a panic there would convert any traced operation into
+//! a crash. Lock poisoning is absorbed with
+//! `unwrap_or_else(PoisonError::into_inner)` throughout.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -60,6 +66,12 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     ("crates/service/src/lib.rs", 0, 0, 0, 0),
     ("crates/service/src/metrics.rs", 0, 0, 0, 0),
     ("crates/service/src/service.rs", 0, 0, 0, 0),
+    ("crates/obs/src/event.rs", 0, 0, 0, 0),
+    ("crates/obs/src/json.rs", 0, 0, 0, 0),
+    ("crates/obs/src/lib.rs", 0, 0, 0, 0),
+    ("crates/obs/src/registry.rs", 0, 0, 0, 0),
+    ("crates/obs/src/sink.rs", 0, 0, 0, 0),
+    ("crates/obs/src/span.rs", 0, 0, 0, 0),
 ];
 
 /// Non-test library source: everything before the first `#[cfg(test)]`,
@@ -96,6 +108,7 @@ fn lib_code_stays_within_its_panic_budget() {
         "crates/mapreduce/src",
         "crates/distributed/src",
         "crates/service/src",
+        "crates/obs/src",
     ] {
         let mut found = Vec::new();
         for entry in fs::read_dir(root.join(dir)).expect("source dir exists") {
