@@ -1,0 +1,50 @@
+//! H-Search latency: mutable arena BFS vs the frozen CSR/SoA snapshot
+//! (DESIGN.md, "Flat search layout"). The clustered 64-bit group at h = 6
+//! is the acceptance workload — the frozen layout must come in at least
+//! 1.5× faster than the arena there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::query_workload;
+use ha_core::testkit::clustered_dataset;
+use ha_core::{DynamicHaIndex, HammingIndex};
+
+fn bench_layouts(c: &mut Criterion) {
+    for (code_len, n, clusters, spread, seed) in
+        [(64usize, 20_000usize, 24usize, 4usize, 11_000u64), (512, 4_000, 12, 8, 11_010)]
+    {
+        let data = clustered_dataset(n, code_len, clusters, spread, seed);
+        let queries = query_workload(&data, 64, seed + 1);
+
+        let idx = DynamicHaIndex::build(data);
+        let mut frozen = idx.clone();
+        frozen.freeze();
+        let mut thawed = idx;
+        thawed.thaw();
+
+        let mut group = c.benchmark_group(format!("flat_search_{code_len}bit"));
+        for h in [3u32, 6] {
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::new("arena", h), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(thawed.search(&queries[qi % queries.len()], h))
+                })
+            });
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::new("flat", h), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(frozen.search(&queries[qi % queries.len()], h))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_layouts
+}
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! The `flat` experiment — the frozen CSR/SoA snapshot vs the mutable
+//! arena (no counterpart figure in the paper, which never freezes its
+//! index; see DESIGN.md, "Flat search layout").
+//!
+//! Two tables:
+//!
+//! * H-Search mean latency, arena BFS vs frozen flat layout, on a
+//!   clustered workload at 64 and 512 bits, h ∈ {3, 6} — the headline is
+//!   the speedup column (the acceptance bar is ≥1.5× at 64 bits, h = 6);
+//! * parallel H-Build wall time by worker count, with the byte-identity
+//!   check against the sequential build inlined (a `no` in the last
+//!   column would mean the combiner broke determinism).
+//!
+//! Both paths answer the identical query workload; the result-volume
+//! check is the same cheap end-to-end exactness guard the serve
+//! experiment uses.
+
+use ha_core::testkit::clustered_dataset;
+use ha_core::{DynamicHaIndex, HammingIndex};
+
+use crate::{fmt_duration, print_table, query_workload, time, time_per_call, Scale};
+
+const THRESHOLDS: [u32; 2] = [3, 6];
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the arena-vs-flat comparison and the parallel-build sweep.
+pub fn run(scale: &Scale) {
+    search_table(scale);
+    build_table(scale);
+}
+
+fn search_table(scale: &Scale) {
+    let mut rows = Vec::new();
+    for (code_len, base_n, clusters, spread, seed) in
+        [(64usize, 30_000usize, 24usize, 4usize, 9000u64), (512, 6_000, 12, 8, 9010)]
+    {
+        let n = scale.n(base_n);
+        let data = clustered_dataset(n, code_len, clusters, spread, seed);
+        let queries = query_workload(&data, scale.queries.min(64), seed + 1);
+
+        let idx = DynamicHaIndex::build(data);
+        let mut frozen = idx.clone();
+        frozen.freeze();
+        let mut thawed = idx;
+        thawed.thaw();
+
+        for &h in &THRESHOLDS {
+            // Exactness guard: both layouts must return the identical ids
+            // in the identical order before either is worth timing.
+            let consistent = queries
+                .iter()
+                .all(|q| frozen.search(q, h) == thawed.search(q, h));
+
+            let mut qi = 0usize;
+            let arena = time_per_call(queries.len(), || {
+                std::hint::black_box(thawed.search(&queries[qi % queries.len()], h));
+                qi += 1;
+            });
+            let mut qi = 0usize;
+            let flat = time_per_call(queries.len(), || {
+                std::hint::black_box(frozen.search(&queries[qi % queries.len()], h));
+                qi += 1;
+            });
+            let snapshot_kb = frozen
+                .flat()
+                .map(|f| f.memory_bytes() as f64 / 1024.0)
+                .unwrap_or(0.0);
+            rows.push(vec![
+                format!("{code_len}"),
+                format!("{n}"),
+                format!("{h}"),
+                fmt_duration(arena),
+                fmt_duration(flat),
+                format!("{:.2}x", arena.as_secs_f64() / flat.as_secs_f64().max(1e-12)),
+                format!("{snapshot_kb:.0} KiB"),
+                if consistent { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Flat snapshot: H-Search latency, arena BFS vs frozen CSR/SoA (clustered data)",
+        &["bits", "n", "h", "arena", "flat", "speedup", "snapshot", "identical"],
+        &rows,
+    );
+}
+
+fn build_table(scale: &Scale) {
+    let n = scale.n(60_000);
+    let data = clustered_dataset(n, 64, 24, 4, 9100);
+    // Wall time is best-of-3 per configuration — on a loaded or
+    // single-core host a single sample is mostly scheduler noise.
+    const REPS: usize = 3;
+    let best = |f: &dyn Fn() -> DynamicHaIndex| {
+        let mut built = None;
+        let mut wall = std::time::Duration::MAX;
+        for _ in 0..REPS {
+            let (b, t) = time(f);
+            wall = wall.min(t);
+            built = Some(b);
+        }
+        (built.expect("REPS >= 1"), wall)
+    };
+
+    let (reference, seq) = best(&|| DynamicHaIndex::build(data.clone()));
+    let reference_bytes = reference.to_bytes();
+
+    let mut rows = vec![vec![
+        "sequential".to_string(),
+        fmt_duration(seq),
+        "1.00x".to_string(),
+        "-".to_string(),
+    ]];
+    for &w in &WORKERS {
+        let (built, wall) = best(&|| DynamicHaIndex::build_parallel(data.clone(), w));
+        let identical = built.to_bytes() == reference_bytes;
+        rows.push(vec![
+            format!("parallel w={w}"),
+            fmt_duration(wall),
+            format!("{:.2}x", seq.as_secs_f64() / wall.as_secs_f64().max(1e-12)),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    print_table(
+        &format!(
+            "Parallel H-Build wall time (n={n}, 64-bit clustered, best of {REPS}, {cores} host core(s))"
+        ),
+        &["build", "wall", "speedup", "identical"],
+        &rows,
+    );
+}

@@ -46,6 +46,7 @@ mod words;
 pub use code::BinaryCode;
 pub use error::BitCodeError;
 pub use masked::MaskedCode;
+pub use words::masked_distance_many;
 
 /// Maximum supported code length in bits.
 ///

@@ -101,6 +101,27 @@ impl MaskedCode {
         query.hamming_masked(&self.bits, &self.mask)
     }
 
+    /// Like [`MaskedCode::distance_to`], but bails out with `None` as soon
+    /// as the running distance exceeds `limit` — the scalar analogue of the
+    /// word-plane batch kernel [`crate::masked_distance_many`].
+    #[inline]
+    pub fn distance_within(&self, query: &BinaryCode, limit: u32) -> Option<u32> {
+        debug_assert_eq!(self.len(), query.len(), "pattern/query width mismatch");
+        let mut acc = 0u32;
+        for ((q, b), m) in query
+            .words()
+            .iter()
+            .zip(self.bits.words())
+            .zip(self.mask.words())
+        {
+            acc += ((q ^ b) & m).count_ones();
+            if acc > limit {
+                return None;
+            }
+        }
+        Some(acc)
+    }
+
     /// The pattern common to `self` and `other`: positions both care about
     /// *and* agree on. This is `extractFLSSeq` from Algorithm 1 generalized
     /// to patterns (plain codes are patterns with a full mask).
@@ -384,6 +405,22 @@ mod tests {
             let p = MaskedCode::new(code.clone(), mask).unwrap();
             prop_assert!(p.matches(&code));
             prop_assert!(p.distance_to(&q) <= code.hamming(&q));
+        }
+
+        #[test]
+        fn prop_distance_within_agrees_with_distance_to(
+            seed in any::<u64>(), len in 1usize..300, limit in 0u32..40
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let code = BinaryCode::random(len, &mut rng);
+            let mask = BinaryCode::random(len, &mut rng);
+            let q = BinaryCode::random(len, &mut rng);
+            let p = MaskedCode::new(code, mask).unwrap();
+            let exact = p.distance_to(&q);
+            match p.distance_within(&q, limit) {
+                Some(d) => prop_assert_eq!(d, exact),
+                None => prop_assert!(exact > limit),
+            }
         }
 
         #[test]

@@ -1,0 +1,607 @@
+//! `FlatHaIndex` — a frozen, cache-friendly snapshot of the Dynamic
+//! HA-Index used as the hot search path.
+//!
+//! The mutable arena is the right shape for H-Insert/H-Delete, but H-Search
+//! pays for that flexibility on every visit: a pointer chase per child
+//! through an AoS `Node` (pattern + child list + leaf payload + bookkeeping
+//! in one ~150-byte struct), dead slots interleaved with live ones, and one
+//! scalar `MaskedCode::distance_to` per sibling. Freezing compiles the live
+//! forest into three structure-of-arrays pieces:
+//!
+//! * **CSR adjacency** — nodes renumbered in BFS order so every sibling
+//!   group is a contiguous id range; `child_start[v] .. child_start[v + 1]`
+//!   indexes one flat `children` array.
+//! * **SoA word-planes** — for each sibling group, pattern words are stored
+//!   column-major: all siblings' *bits* word 0, all siblings' *mask* word 0,
+//!   then word 1, … Pruning a whole group is then one sequential scan of
+//!   contiguous memory by [`ha_bitcode::masked_distance_many`], which bails
+//!   out of a sibling as soon as its accumulated distance exceeds `h` and
+//!   out of the group as soon as nobody is left within budget.
+//! * **Leaf SoA** — leaf codes and their tuple-id lists in two flat arrays
+//!   (ids in CSR form), so reporting a hit never touches the arena.
+//!
+//! A snapshot is tagged with the arena's mutation epoch at compile time;
+//! [`DynamicHaIndex`](super::DynamicHaIndex) dispatches searches to the
+//! snapshot only while the epochs still agree, falling back to the arena
+//! BFS (the oracle) after any mutation. Traversal order is identical to the
+//! arena BFS, so results are byte-for-byte the same, not merely set-equal.
+
+use ha_bitcode::{masked_distance_many, BinaryCode, MaskedCode};
+
+use super::search::{TraceEvent, TraceStep};
+use super::{DynamicHaIndex, NodeId};
+use crate::memory::vec_bytes;
+use crate::TupleId;
+
+/// Sentinel for "no parent" / "not a leaf" in the flat arrays.
+const NONE: u32 = u32::MAX;
+
+/// Frozen search snapshot of a [`DynamicHaIndex`] (see module docs).
+#[derive(Clone, Debug)]
+pub struct FlatHaIndex {
+    code_len: usize,
+    /// `u64` words per code (`code_len.div_ceil(64)`).
+    words: usize,
+    /// Arena mutation epoch this snapshot was compiled at.
+    epoch: u64,
+    /// Indexed tuples (with multiplicity).
+    len: usize,
+    /// Roots occupy flat ids `0 .. root_count`.
+    root_count: u32,
+    /// CSR child offsets: node `v`'s children live at
+    /// `children[child_start[v] .. child_start[v + 1]]`.
+    child_start: Vec<u32>,
+    /// Flat child ids; every sibling group is a consecutive id range.
+    children: Vec<u32>,
+    /// Parent of each node (`NONE` for roots) — used to recover a node's
+    /// sibling-group coordinates when rendering patterns for traces.
+    parent: Vec<u32>,
+    /// Word-plane pattern storage: the root group first, then each internal
+    /// node's child group in BFS order. The group of node `p`'s children
+    /// starts at word `2 * words * (root_count + child_start[p])`.
+    planes: Vec<u64>,
+    /// Per node: index into the leaf arrays, or `NONE` for internal nodes.
+    leaf_slot: Vec<u32>,
+    /// Distinct full codes of the leaves, by leaf slot.
+    leaf_codes: Vec<BinaryCode>,
+    /// CSR offsets into `leaf_ids`, by leaf slot.
+    leaf_ids_start: Vec<u32>,
+    /// Tuple ids of every leaf, concatenated.
+    leaf_ids: Vec<TupleId>,
+}
+
+/// Reusable traversal buffers: two swapped level-synchronous frontiers plus
+/// the per-group distance accumulators handed to the batch kernel. One
+/// `Scratch` serves a whole `batch_search` call, so per-query allocations
+/// disappear once the high-water mark is reached.
+#[derive(Default)]
+struct Scratch {
+    frontier: Vec<(u32, u32)>,
+    next: Vec<(u32, u32)>,
+    dist: Vec<u32>,
+}
+
+/// Appends one sibling group's patterns to `planes` in word-plane order.
+fn push_group(planes: &mut Vec<u64>, idx: &DynamicHaIndex, group: &[NodeId], words: usize) {
+    for w in 0..words {
+        for &m in group {
+            planes.push(idx.nodes[m as usize].pattern.bits().words()[w]);
+        }
+        for &m in group {
+            planes.push(idx.nodes[m as usize].pattern.mask().words()[w]);
+        }
+    }
+}
+
+/// Compiles a snapshot from a flushed, compacted arena.
+///
+/// Callers ([`DynamicHaIndex::freeze`](super::DynamicHaIndex::freeze)) must
+/// have emptied the insert buffer and dropped dead slots first; the BFS
+/// renumbering below assumes every reachable node is alive.
+pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
+    debug_assert!(idx.buffer.is_empty(), "freeze must flush the buffer");
+    debug_assert!(idx.nodes.iter().all(|n| n.alive), "freeze must compact");
+    let code_len = idx.code_len;
+    let words = code_len.div_ceil(64);
+    let root_count = idx.roots.len();
+
+    // BFS renumbering: roots first, then each processed node's children
+    // appended consecutively — which *is* the CSR sibling-contiguity
+    // property the planes rely on.
+    let mut order: Vec<NodeId> = idx.roots.clone();
+    let mut planes: Vec<u64> = Vec::new();
+    push_group(&mut planes, idx, &idx.roots, words);
+    let mut child_start: Vec<u32> = Vec::with_capacity(idx.nodes.len() + 1);
+    child_start.push(0);
+    let mut children: Vec<u32> = Vec::new();
+    let mut parent: Vec<u32> = vec![NONE; root_count];
+    let mut leaf_slot: Vec<u32> = Vec::new();
+    let mut leaf_codes: Vec<BinaryCode> = Vec::new();
+    let mut leaf_ids_start: Vec<u32> = vec![0];
+    let mut leaf_ids: Vec<TupleId> = Vec::new();
+
+    let mut at = 0usize;
+    while at < order.len() {
+        let node = &idx.nodes[order[at] as usize];
+        if let Some(leaf) = &node.leaf {
+            leaf_slot.push(leaf_codes.len() as u32);
+            leaf_codes.push(leaf.code.clone());
+            leaf_ids.extend_from_slice(&leaf.ids);
+            leaf_ids_start.push(leaf_ids.len() as u32);
+        } else {
+            leaf_slot.push(NONE);
+            push_group(&mut planes, idx, &node.children, words);
+            for &c in &node.children {
+                children.push(order.len() as u32);
+                parent.push(at as u32);
+                order.push(c);
+            }
+        }
+        child_start.push(children.len() as u32);
+        at += 1;
+    }
+
+    FlatHaIndex {
+        code_len,
+        words,
+        epoch: idx.epoch,
+        len: idx.len,
+        root_count: root_count as u32,
+        child_start,
+        children,
+        parent,
+        planes,
+        leaf_slot,
+        leaf_codes,
+        leaf_ids_start,
+        leaf_ids,
+    }
+}
+
+impl FlatHaIndex {
+    /// Arena mutation epoch this snapshot reflects.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of indexed tuples (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of the indexed codes in bits.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Total nodes in the snapshot (all live, by construction).
+    pub fn node_count(&self) -> usize {
+        self.leaf_slot.len()
+    }
+
+    /// Heap bytes held by the snapshot's flat arrays.
+    pub fn memory_bytes(&self) -> usize {
+        vec_bytes(&self.child_start)
+            + vec_bytes(&self.children)
+            + vec_bytes(&self.parent)
+            + vec_bytes(&self.planes)
+            + vec_bytes(&self.leaf_slot)
+            + vec_bytes(&self.leaf_codes)
+            + vec_bytes(&self.leaf_ids_start)
+            + vec_bytes(&self.leaf_ids)
+            + self.leaf_codes.iter().map(|c| c.heap_bytes()).sum::<usize>()
+    }
+
+    /// Tuple ids of leaf slot `slot`.
+    #[inline]
+    fn ids_of(&self, slot: u32) -> &[TupleId] {
+        let lo = self.leaf_ids_start[slot as usize] as usize;
+        let hi = self.leaf_ids_start[slot as usize + 1] as usize;
+        &self.leaf_ids[lo..hi]
+    }
+
+    /// Word-plane slice and group size of node `p`'s child group.
+    #[inline]
+    fn child_group(&self, p: u32) -> (&[u64], usize, usize) {
+        let lo = self.child_start[p as usize] as usize;
+        let hi = self.child_start[p as usize + 1] as usize;
+        let g = hi - lo;
+        let base = 2 * self.words * (self.root_count as usize + lo);
+        (&self.planes[base..base + 2 * self.words * g], g, lo)
+    }
+
+    /// Core level-synchronous traversal over the flat layout. Calls `emit`
+    /// for each qualifying leaf (flat id + exact distance) in the same
+    /// order the arena BFS would.
+    fn run(
+        &self,
+        query: &BinaryCode,
+        h: u32,
+        scratch: &mut Scratch,
+        emit: &mut impl FnMut(u32, u32),
+    ) {
+        assert_eq!(query.len(), self.code_len, "query length mismatch");
+        let rc = self.root_count as usize;
+        if rc == 0 {
+            return;
+        }
+        let qw = query.words();
+        let w = self.words;
+        let Scratch { frontier, next, dist } = scratch;
+        frontier.clear();
+
+        // Top level: one kernel call over the root group.
+        dist.clear();
+        dist.resize(rc, 0);
+        masked_distance_many(qw, &self.planes[..2 * w * rc], rc, h, dist);
+        for v in 0..rc {
+            let d = dist[v];
+            if d <= h {
+                if self.leaf_slot[v] != NONE {
+                    emit(v as u32, d);
+                } else {
+                    frontier.push((v as u32, d));
+                }
+            }
+        }
+
+        // Descend level by level; each internal survivor scans its child
+        // group with one kernel call seeded at the parent's accumulator.
+        while !frontier.is_empty() {
+            next.clear();
+            for i in 0..frontier.len() {
+                let (p, acc) = frontier[i];
+                let (planes, g, lo) = self.child_group(p);
+                dist.clear();
+                dist.resize(g, acc);
+                masked_distance_many(qw, planes, g, h, dist);
+                for s in 0..g {
+                    let d = dist[s];
+                    if d <= h {
+                        let v = self.children[lo + s];
+                        if self.leaf_slot[v as usize] != NONE {
+                            emit(v, d);
+                        } else {
+                            next.push((v, d));
+                        }
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+        }
+    }
+
+    /// H-Search over the frozen layout (requires `keep_leaf_ids`).
+    pub fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.run(query, h, &mut scratch, &mut |v, _| {
+            out.extend_from_slice(self.ids_of(self.leaf_slot[v as usize]));
+        });
+        out
+    }
+
+    /// H-Search returning `(id, exact distance)` pairs.
+    pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.run(query, h, &mut scratch, &mut |v, d| {
+            out.extend(
+                self.ids_of(self.leaf_slot[v as usize])
+                    .iter()
+                    .map(|&id| (id, d)),
+            );
+        });
+        out
+    }
+
+    /// H-Search returning distinct qualifying codes with exact distances.
+    pub fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.run(query, h, &mut scratch, &mut |v, d| {
+            let slot = self.leaf_slot[v as usize] as usize;
+            out.push((self.leaf_codes[slot].clone(), d));
+        });
+        out
+    }
+
+    /// Batched H-Search: one solo flat traversal per query, sharing the
+    /// scratch buffers across the whole batch so the steady state allocates
+    /// nothing per query. (PR 3's serve bench showed raw per-query CPU, not
+    /// traversal sharing, bounds throughput once locks are amortized.)
+    pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        let mut out: Vec<Vec<TupleId>> = vec![Vec::new(); queries.len()];
+        let mut scratch = Scratch::default();
+        for (slot, query) in out.iter_mut().zip(queries) {
+            self.run(query, h, &mut scratch, &mut |v, _| {
+                slot.extend_from_slice(self.ids_of(self.leaf_slot[v as usize]));
+            });
+        }
+        out
+    }
+
+    /// Reconstructs node `v`'s residual pattern from its sibling group's
+    /// word-planes (trace rendering only — the hot path never needs it).
+    fn pattern_of(&self, v: u32) -> MaskedCode {
+        let rc = self.root_count as usize;
+        let w = self.words;
+        let (base, g, s) = if (v as usize) < rc {
+            (0usize, rc, v as usize)
+        } else {
+            let p = self.parent[v as usize];
+            let lo = self.child_start[p as usize] as usize;
+            let hi = self.child_start[p as usize + 1] as usize;
+            (
+                2 * w * (rc + lo),
+                hi - lo,
+                v as usize - rc - lo,
+            )
+        };
+        let mut bits = vec![0u64; w];
+        let mut mask = vec![0u64; w];
+        for wi in 0..w {
+            bits[wi] = self.planes[base + 2 * wi * g + s];
+            mask[wi] = self.planes[base + (2 * wi + 1) * g + s];
+        }
+        let bits = BinaryCode::from_words(&bits, self.code_len);
+        let mask = BinaryCode::from_words(&mask, self.code_len);
+        // Same-length by construction; the fallback is unreachable but keeps
+        // this file within its zero panic budget.
+        MaskedCode::new(bits, mask).unwrap_or_else(|_| MaskedCode::empty(self.code_len))
+    }
+
+    /// Instrumented H-Search over the flat layout — same rounds, events and
+    /// snapshots as the arena's Table-3 trace. Distances here are computed
+    /// exactly (no early exit): the trace reports the violating accumulated
+    /// distance of pruned nodes, which the bailing kernel would truncate.
+    pub fn search_trace(&self, query: &BinaryCode, h: u32) -> (Vec<TupleId>, Vec<TraceStep>) {
+        assert_eq!(query.len(), self.code_len, "query length mismatch");
+        let rc = self.root_count as usize;
+        let w = self.words;
+        let qw = query.words();
+        let mut steps: Vec<TraceStep> = Vec::new();
+        let mut results: Vec<TupleId> = Vec::new();
+        // FIFO as a cursor over a grow-only Vec: identical visit order to
+        // the arena's queue.
+        let mut queue: Vec<(u32, u32)> = Vec::new();
+        let mut cursor = 0usize;
+        let mut dist: Vec<u32> = Vec::new();
+
+        let visit = |v: u32,
+                         d: u32,
+                         events: &mut Vec<TraceEvent>,
+                         results: &mut Vec<TupleId>,
+                         queue: &mut Vec<(u32, u32)>| {
+            if d > h {
+                events.push(TraceEvent::Pruned {
+                    pattern: self.pattern_of(v).to_string(),
+                    acc: d,
+                });
+            } else if self.leaf_slot[v as usize] != NONE {
+                let slot = self.leaf_slot[v as usize];
+                let ids = self.ids_of(slot).to_vec();
+                events.push(TraceEvent::Reported {
+                    code: self.leaf_codes[slot as usize].to_string(),
+                    distance: d,
+                    ids: ids.clone(),
+                });
+                results.extend(ids);
+            } else {
+                events.push(TraceEvent::Enqueued {
+                    pattern: self.pattern_of(v).to_string(),
+                    acc: d,
+                });
+                queue.push((v, d));
+            }
+        };
+
+        // Round 0: the top level.
+        let mut events = Vec::new();
+        if rc > 0 {
+            dist.resize(rc, 0);
+            masked_distance_many(qw, &self.planes[..2 * w * rc], rc, u32::MAX, &mut dist);
+            for v in 0..rc {
+                visit(v as u32, dist[v], &mut events, &mut results, &mut queue);
+            }
+        }
+        steps.push(TraceStep {
+            events,
+            queue_after: self.queued_patterns(&queue, cursor),
+            results_so_far: results.clone(),
+        });
+
+        while cursor < queue.len() {
+            let (p, acc) = queue[cursor];
+            cursor += 1;
+            let mut events = Vec::new();
+            let (planes, g, lo) = self.child_group(p);
+            dist.clear();
+            dist.resize(g, acc);
+            masked_distance_many(qw, planes, g, u32::MAX, &mut dist);
+            for s in 0..g {
+                visit(
+                    self.children[lo + s],
+                    dist[s],
+                    &mut events,
+                    &mut results,
+                    &mut queue,
+                );
+            }
+            steps.push(TraceStep {
+                events,
+                queue_after: self.queued_patterns(&queue, cursor),
+                results_so_far: results.clone(),
+            });
+        }
+        (results, steps)
+    }
+
+    fn queued_patterns(&self, queue: &[(u32, u32)], cursor: usize) -> Vec<String> {
+        queue[cursor..]
+            .iter()
+            .map(|&(v, _)| self.pattern_of(v).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testkit::{clustered_dataset, paper_table_s, random_dataset};
+    use crate::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex};
+    use ha_bitcode::BinaryCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Freeze a clone and return (frozen, thawed-arena) views of the same
+    /// contents.
+    fn views(idx: &DynamicHaIndex) -> (DynamicHaIndex, DynamicHaIndex) {
+        let mut frozen = idx.clone();
+        frozen.freeze();
+        let mut arena = frozen.clone();
+        arena.thaw();
+        (frozen, arena)
+    }
+
+    #[test]
+    fn paper_example_byte_identical_to_arena() {
+        let idx = DynamicHaIndex::build_with(
+            paper_table_s(),
+            DhaConfig {
+                window: 2,
+                max_depth: 4,
+                ..DhaConfig::default()
+            },
+        );
+        let (frozen, arena) = views(&idx);
+        assert!(frozen.flat_is_current());
+        assert!(!arena.flat_is_current());
+        let q: BinaryCode = "101100010".parse().unwrap();
+        for h in 0..=9 {
+            assert_eq!(frozen.search(&q, h), arena.search(&q, h), "h={h}");
+            assert_eq!(
+                frozen.search_with_distances(&q, h),
+                arena.search_with_distances(&q, h)
+            );
+            assert_eq!(frozen.search_codes(&q, h), arena.search_codes(&q, h));
+        }
+    }
+
+    #[test]
+    fn trace_byte_identical_to_arena() {
+        let idx = DynamicHaIndex::build_with(
+            paper_table_s(),
+            DhaConfig {
+                window: 2,
+                max_depth: 4,
+                ..DhaConfig::default()
+            },
+        );
+        let (frozen, arena) = views(&idx);
+        let q: BinaryCode = "010001011".parse().unwrap();
+        let (ids_f, steps_f) = frozen.search_trace(&q, 3);
+        let (ids_a, steps_a) = arena.search_trace(&q, 3);
+        assert_eq!(ids_f, ids_a);
+        assert_eq!(steps_f, steps_a);
+        assert_eq!(ids_f, vec![0]);
+    }
+
+    #[test]
+    fn batch_matches_solo_on_flat() {
+        let data = clustered_dataset(400, 64, 6, 3, 17);
+        let mut idx = DynamicHaIndex::build(data);
+        idx.freeze();
+        let mut rng = StdRng::seed_from_u64(18);
+        let queries: Vec<BinaryCode> = (0..13).map(|_| BinaryCode::random(64, &mut rng)).collect();
+        for h in [0u32, 3, 6, 10] {
+            let batched = idx.batch_search(&queries, h);
+            for (qi, q) in queries.iter().enumerate() {
+                assert_eq!(batched[qi], idx.search(q, h), "h={h} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_invalidate_then_refreeze_revalidates() {
+        let data = random_dataset(200, 32, 23);
+        let mut idx = DynamicHaIndex::build(data.clone());
+        idx.freeze();
+        assert!(idx.flat_is_current());
+        let mut rng = StdRng::seed_from_u64(24);
+        let fresh = BinaryCode::random(32, &mut rng);
+        idx.insert(fresh.clone(), 9_999);
+        assert!(!idx.flat_is_current(), "insert must invalidate the snapshot");
+        // Stale snapshot is bypassed: the buffered tuple is visible.
+        assert!(idx.search(&fresh, 0).contains(&9_999));
+        idx.freeze();
+        assert!(idx.flat_is_current());
+        assert!(idx.search(&fresh, 0).contains(&9_999));
+        assert!(idx.delete(&fresh, 9_999));
+        assert!(!idx.flat_is_current(), "delete must invalidate the snapshot");
+    }
+
+    #[test]
+    fn freeze_compacts_dead_slots() {
+        let data = random_dataset(150, 24, 31);
+        let mut idx = DynamicHaIndex::build(data.clone());
+        for (code, id) in data.iter().take(40) {
+            assert!(idx.delete(code, *id));
+        }
+        assert!(idx.dead_slots() > 0);
+        let before = idx.dead_slots();
+        idx.freeze();
+        assert_eq!(idx.dead_slots(), 0, "freeze drops {before} dead slots");
+        idx.check_invariants();
+        let flat = idx.flat().expect("fresh snapshot");
+        assert_eq!(flat.len(), idx.len());
+        assert!(flat.node_count() > 0);
+        assert!(flat.memory_bytes() > 0);
+        // Results still match a linear oracle.
+        let mut rng = StdRng::seed_from_u64(32);
+        for h in [0u32, 2, 5] {
+            let q = BinaryCode::random(24, &mut rng);
+            crate::testkit::assert_matches_oracle(
+                idx.search(&q, h),
+                &data[40..],
+                &q,
+                h,
+                "flat-after-delete",
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_leaf_snapshots() {
+        let mut empty = DynamicHaIndex::empty(16, DhaConfig::default());
+        empty.freeze();
+        assert!(empty.flat_is_current());
+        assert!(empty.search(&BinaryCode::zero(16), 16).is_empty());
+
+        let mut one = DynamicHaIndex::build([(BinaryCode::from_u64(5, 16), 7u64)]);
+        one.freeze();
+        assert_eq!(one.search(&BinaryCode::from_u64(5, 16), 0), vec![7]);
+        let (_, steps) = one.search_trace(&BinaryCode::from_u64(5, 16), 0);
+        assert!(!steps.is_empty());
+    }
+
+    #[test]
+    fn wide_codes_exercise_multiword_planes() {
+        let data = clustered_dataset(120, 512, 4, 5, 41);
+        let idx = DynamicHaIndex::build(data);
+        let (frozen, arena) = views(&idx);
+        let mut rng = StdRng::seed_from_u64(42);
+        for h in [0u32, 8, 40, 200] {
+            let mut q = BinaryCode::random(512, &mut rng);
+            if rng.gen_bool(0.5) {
+                // Half the queries sit near the data so something matches.
+                q = frozen.items().next().map(|(c, _)| c).unwrap_or(q);
+            }
+            assert_eq!(frozen.search(&q, h), arena.search(&q, h), "h={h}");
+        }
+    }
+}

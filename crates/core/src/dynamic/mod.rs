@@ -23,12 +23,14 @@
 //!   used by the MapReduce join (§5.2).
 
 mod build;
+mod flat;
 mod maintain;
 mod merge;
 mod node;
 mod search;
 mod serialize;
 
+pub use flat::FlatHaIndex;
 pub use search::{TraceEvent, TraceStep};
 pub use serialize::DecodeError;
 
@@ -90,6 +92,10 @@ pub struct DynamicHaIndex {
     /// the same result set, so a cached answer tagged with the epoch it
     /// was computed at can be reused exactly until the next mutation.
     pub(crate) epoch: u64,
+    /// Frozen search snapshot compiled by [`DynamicHaIndex::freeze`];
+    /// consulted by every search entry point while its epoch still matches
+    /// `epoch`, silently bypassed (arena BFS) once a mutation lands.
+    pub(crate) flat: Option<FlatHaIndex>,
 }
 
 impl DynamicHaIndex {
@@ -124,6 +130,42 @@ impl DynamicHaIndex {
         build::h_build(items, config)
     }
 
+    /// Parallel H-Build with the default configuration: Gray ranking, leaf
+    /// construction and each extraction level's window analysis (shared
+    /// FLSSeq + residual patterns) run on a pool of `workers` scoped
+    /// threads; only the cheap order-sensitive apply pass (arena
+    /// allocation, per-level consolidation) stays sequential, and it is the
+    /// very same code the sequential H-Build runs. The output is therefore
+    /// **byte-identical to [`DynamicHaIndex::build`] for every worker
+    /// count** — `workers` buys wall-clock time, nothing else.
+    ///
+    /// ```
+    /// use ha_core::DynamicHaIndex;
+    /// use ha_bitcode::BinaryCode;
+    ///
+    /// let items: Vec<_> =
+    ///     (0..4096u64).map(|i| (BinaryCode::from_u64(i.wrapping_mul(2654435761) % 65536, 16), i)).collect();
+    /// let seq = DynamicHaIndex::build(items.clone());
+    /// let par = DynamicHaIndex::build_parallel(items, 4);
+    /// assert_eq!(seq.to_bytes(), par.to_bytes());
+    /// ```
+    pub fn build_parallel(
+        items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+        workers: usize,
+    ) -> Self {
+        build::h_build_parallel(items, DhaConfig::default(), workers)
+    }
+
+    /// Parallel H-Build with an explicit configuration
+    /// (see [`DynamicHaIndex::build_parallel`]).
+    pub fn build_parallel_with(
+        items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+        config: DhaConfig,
+        workers: usize,
+    ) -> Self {
+        build::h_build_parallel(items, config, workers)
+    }
+
     /// Empty index for `code_len`-bit codes.
     pub fn empty(code_len: usize, config: DhaConfig) -> Self {
         DynamicHaIndex {
@@ -135,6 +177,7 @@ impl DynamicHaIndex {
             config,
             len: 0,
             epoch: 0,
+            flat: None,
         }
     }
 
@@ -194,6 +237,9 @@ impl DynamicHaIndex {
     /// }
     /// ```
     pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        if let Some(f) = self.flat() {
+            return f.batch_search(queries, h);
+        }
         search::h_batch_search(self, queries, h)
     }
 
@@ -235,6 +281,9 @@ impl DynamicHaIndex {
     /// distances — works in both leafy and leafless modes (Option B of the
     /// MapReduce join resolves ids afterwards).
     pub fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        if let Some(f) = self.flat() {
+            return f.search_codes(query, h);
+        }
         search::h_search_codes(self, query, h)
     }
 
@@ -243,6 +292,9 @@ impl DynamicHaIndex {
     /// the bit positions), so ranking costs nothing extra — this is what
     /// the kNN layers build on.
     pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        if let Some(f) = self.flat() {
+            return f.search_with_distances(query, h);
+        }
         search::h_search_with_distances(self, query, h)
     }
 
@@ -250,6 +302,9 @@ impl DynamicHaIndex {
     /// reproduction). Returns the qualifying ids plus one [`TraceStep`] per
     /// BFS round.
     pub fn search_trace(&self, query: &BinaryCode, h: u32) -> (Vec<TupleId>, Vec<TraceStep>) {
+        if let Some(f) = self.flat() {
+            return f.search_trace(query, h);
+        }
         search::h_search_trace(self, query, h)
     }
 
@@ -257,6 +312,92 @@ impl DynamicHaIndex {
     /// when the buffer reaches `insert_buffer_cap`).
     pub fn flush(&mut self) {
         maintain::flush_buffer(self);
+    }
+
+    /// Compiles (or revalidates) the frozen search snapshot: flushes the
+    /// insert buffer, compacts dead arena slots away, and builds the
+    /// CSR/SoA [`FlatHaIndex`] every search entry point will use until the
+    /// next mutation. Idempotent while the epoch is unchanged.
+    ///
+    /// ```
+    /// use ha_core::{DynamicHaIndex, HammingIndex, MutableIndex};
+    /// use ha_bitcode::BinaryCode;
+    ///
+    /// let mut index = DynamicHaIndex::build(
+    ///     (0..64u64).map(|i| (BinaryCode::from_u64(i, 16), i)));
+    /// index.freeze();
+    /// assert!(index.flat_is_current());
+    /// let hits = index.search(&BinaryCode::from_u64(7, 16), 1); // flat path
+    ///
+    /// index.insert(BinaryCode::from_u64(99, 16), 99);
+    /// assert!(!index.flat_is_current()); // arena path until re-frozen
+    /// ```
+    pub fn freeze(&mut self) -> &FlatHaIndex {
+        maintain::flush_buffer(self);
+        let current = self.flat.as_ref().is_some_and(|f| f.epoch() == self.epoch);
+        if !current {
+            let dropped = self.compact();
+            ha_obs::add("core.flat.compacted_nodes", dropped as u64);
+            self.flat = Some(flat::compile(self));
+        }
+        self.flat.as_ref().expect("snapshot just installed")
+    }
+
+    /// Drops the frozen snapshot (if any), forcing searches back onto the
+    /// arena BFS and releasing the snapshot's memory.
+    pub fn thaw(&mut self) {
+        self.flat = None;
+    }
+
+    /// The frozen snapshot, if one exists *and* still reflects the current
+    /// epoch. This is the dispatch predicate of every search entry point.
+    pub fn flat(&self) -> Option<&FlatHaIndex> {
+        self.flat.as_ref().filter(|f| f.epoch() == self.epoch)
+    }
+
+    /// True if searches are currently served from the frozen layout.
+    pub fn flat_is_current(&self) -> bool {
+        self.flat().is_some()
+    }
+
+    /// Number of dead (`!alive`) slots lingering in the arena — what the
+    /// next [`DynamicHaIndex::freeze`] will compact away.
+    pub fn dead_slots(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.alive).count()
+    }
+
+    /// Drops dead arena slots and remaps every live reference. Dead nodes
+    /// are provably unreferenced by live ones (H-Delete unlinks bottom-up;
+    /// merge only grafts live subtrees), so compaction is a stable filter
+    /// plus id remap — the observable result set is unchanged and the
+    /// epoch stays put. Returns the number of slots dropped.
+    fn compact(&mut self) -> usize {
+        let dead = self.dead_slots();
+        if dead == 0 {
+            return 0;
+        }
+        let mut remap = vec![NodeId::MAX; self.nodes.len()];
+        let mut kept: Vec<Node> = Vec::with_capacity(self.nodes.len() - dead);
+        for (i, n) in self.nodes.drain(..).enumerate() {
+            if n.alive {
+                remap[i] = kept.len() as NodeId;
+                kept.push(n);
+            }
+        }
+        for n in &mut kept {
+            for c in &mut n.children {
+                debug_assert_ne!(remap[*c as usize], NodeId::MAX, "live child of live node");
+                *c = remap[*c as usize];
+            }
+        }
+        self.nodes = kept;
+        for r in &mut self.roots {
+            *r = remap[*r as usize];
+        }
+        for v in self.leaves.values_mut() {
+            *v = remap[*v as usize];
+        }
+        dead
     }
 
     /// Merges `other` into `self` (global HA-Index construction, §5.2).
@@ -421,6 +562,9 @@ impl HammingIndex for DynamicHaIndex {
     }
 
     fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        if let Some(f) = self.flat() {
+            return f.search(query, h);
+        }
         search::h_search(self, query, h)
     }
 

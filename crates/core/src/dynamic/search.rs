@@ -1,8 +1,12 @@
 //! H-Search (Algorithm 3): breadth-first traversal with downward-closure
 //! pruning, plus the instrumented variant that reproduces the Table 3
 //! execution trace.
-
-use std::collections::VecDeque;
+//!
+//! The BFS frontier is two swapped `Vec`s (level-synchronous) rather than a
+//! `VecDeque`: a BFS visits nodes level by level either way, so the visit
+//! and emission order is identical, but the two-vector form reuses its
+//! buffers across levels (and, in the batched search, across the whole
+//! batch) instead of churning a ring buffer.
 
 use ha_bitcode::BinaryCode;
 
@@ -21,46 +25,51 @@ struct Entry {
 /// qualifying leaf with its exact distance.
 fn bfs(idx: &DynamicHaIndex, query: &BinaryCode, h: u32, mut emit: impl FnMut(NodeId, u32)) {
     assert_eq!(query.len(), idx.code_len, "query length mismatch");
-    let mut queue: VecDeque<Entry> = VecDeque::new();
+    let mut frontier: Vec<Entry> = Vec::new();
+    let mut next: Vec<Entry> = Vec::new();
     // Lines 2–7: admit qualifying top-level entries.
     for &root in &idx.roots {
         let node = &idx.nodes[root as usize];
         if !node.alive {
             continue;
         }
-        let d = node.pattern.distance_to(query);
-        if d <= h {
-            if node.is_leaf() {
-                emit(root, d);
-            } else {
-                queue.push_back(Entry { node: root, acc: d });
-            }
+        let Some(d) = node.pattern.distance_within(query, h) else {
+            continue;
+        };
+        if node.is_leaf() {
+            emit(root, d);
+        } else {
+            frontier.push(Entry { node: root, acc: d });
         }
     }
-    // Lines 8–27.
-    while let Some(Entry { node, acc }) = queue.pop_front() {
-        for &child_id in &idx.nodes[node as usize].children {
-            let child = &idx.nodes[child_id as usize];
-            if !child.alive {
-                continue;
-            }
-            // Line 13: hdis(tq, c) + n.h ≤ h — the downward-closure prune.
-            let d = child.pattern.distance_to(query);
-            let total = acc + d;
-            if total > h {
-                continue;
-            }
-            if child.is_leaf() {
-                // Path masks partition all bit positions, so `total` is the
-                // exact Hamming distance of the leaf's code.
-                emit(child_id, total);
-            } else {
-                queue.push_back(Entry {
-                    node: child_id,
-                    acc: total,
-                });
+    // Lines 8–27, one level per pass.
+    while !frontier.is_empty() {
+        next.clear();
+        for &Entry { node, acc } in &frontier {
+            for &child_id in &idx.nodes[node as usize].children {
+                let child = &idx.nodes[child_id as usize];
+                if !child.alive {
+                    continue;
+                }
+                // Line 13: hdis(tq, c) + n.h ≤ h — the downward-closure
+                // prune, bailing mid-scan once the budget is blown.
+                let Some(d) = child.pattern.distance_within(query, h.saturating_sub(acc)) else {
+                    continue;
+                };
+                let total = acc + d;
+                if child.is_leaf() {
+                    // Path masks partition all bit positions, so `total` is
+                    // the exact Hamming distance of the leaf's code.
+                    emit(child_id, total);
+                } else {
+                    next.push(Entry {
+                        node: child_id,
+                        acc: total,
+                    });
+                }
             }
         }
+        std::mem::swap(&mut frontier, &mut next);
     }
 }
 
@@ -181,7 +190,8 @@ pub(super) fn h_batch_search(
             out[qi as usize].extend_from_slice(&data.ids);
         }
     };
-    let mut queue: VecDeque<BatchEntry> = VecDeque::new();
+    let mut frontier: Vec<BatchEntry> = Vec::new();
+    let mut next_level: Vec<BatchEntry> = Vec::new();
     for &root in &idx.roots {
         let node = &idx.nodes[root as usize];
         if !node.alive {
@@ -200,61 +210,66 @@ pub(super) fn h_batch_search(
         }
         match active.len() {
             0 => {}
-            1 => queue.push_back(BatchEntry {
+            1 => frontier.push(BatchEntry {
                 node: root,
                 active: Active::One(active[0]),
             }),
-            _ => queue.push_back(BatchEntry {
+            _ => frontier.push(BatchEntry {
                 node: root,
                 active: Active::Many(std::mem::take(&mut active)),
             }),
         }
     }
-    // Multi-survivor lists are recycled through a scratch pool so the
-    // steady state allocates (almost) nothing: every popped `Many` frees
-    // one list, every child that keeps ≥2 queries claims one.
+    // Level-synchronous frontier (two swapped Vecs), with multi-survivor
+    // lists recycled through a scratch pool so the steady state allocates
+    // (almost) nothing: every drained `Many` frees one list, every child
+    // that keeps ≥2 queries claims one. All four buffers live for the
+    // whole batch — per-query allocation is the high-water mark only.
     let mut pool: Vec<Vec<(u32, u32)>> = Vec::new();
     let mut scratch: Vec<(u32, u32)> = Vec::new();
-    while let Some(BatchEntry { node, active }) = queue.pop_front() {
-        for &child_id in &idx.nodes[node as usize].children {
-            let child = &idx.nodes[child_id as usize];
-            if !child.alive {
-                continue;
-            }
-            let is_leaf = child.is_leaf();
-            scratch.clear();
-            for &(qi, acc) in active.pairs() {
-                let d = child.pattern.distance_to(&queries[qi as usize]);
-                let total = acc + d;
-                if total > h {
+    while !frontier.is_empty() {
+        for BatchEntry { node, active } in frontier.drain(..) {
+            for &child_id in &idx.nodes[node as usize].children {
+                let child = &idx.nodes[child_id as usize];
+                if !child.alive {
                     continue;
                 }
-                if is_leaf {
-                    emit(&mut out, child_id, qi);
-                } else {
-                    scratch.push((qi, total));
+                let is_leaf = child.is_leaf();
+                scratch.clear();
+                for &(qi, acc) in active.pairs() {
+                    let d = child.pattern.distance_to(&queries[qi as usize]);
+                    let total = acc + d;
+                    if total > h {
+                        continue;
+                    }
+                    if is_leaf {
+                        emit(&mut out, child_id, qi);
+                    } else {
+                        scratch.push((qi, total));
+                    }
                 }
-            }
-            match scratch.len() {
-                0 => {}
-                1 => queue.push_back(BatchEntry {
-                    node: child_id,
-                    active: Active::One(scratch[0]),
-                }),
-                _ => {
-                    let mut next = pool.pop().unwrap_or_default();
-                    next.clear();
-                    next.extend_from_slice(&scratch);
-                    queue.push_back(BatchEntry {
+                match scratch.len() {
+                    0 => {}
+                    1 => next_level.push(BatchEntry {
                         node: child_id,
-                        active: Active::Many(next),
-                    });
+                        active: Active::One(scratch[0]),
+                    }),
+                    _ => {
+                        let mut survivors = pool.pop().unwrap_or_default();
+                        survivors.clear();
+                        survivors.extend_from_slice(&scratch);
+                        next_level.push(BatchEntry {
+                            node: child_id,
+                            active: Active::Many(survivors),
+                        });
+                    }
                 }
             }
+            if let Active::Many(freed) = active {
+                pool.push(freed);
+            }
         }
-        if let Active::Many(freed) = active {
-            pool.push(freed);
-        }
+        std::mem::swap(&mut frontier, &mut next_level);
     }
     for (code, id) in &idx.buffer {
         for (qi, q) in queries.iter().enumerate() {
@@ -297,7 +312,7 @@ pub enum TraceEvent {
 
 /// One BFS round of a traced search: the events of the round plus the
 /// queue and result-set snapshots afterwards — the columns of Table 3.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceStep {
     /// Events processed this round.
     pub events: Vec<TraceEvent>,
@@ -317,7 +332,10 @@ pub(super) fn h_search_trace(
     assert_eq!(query.len(), idx.code_len, "query length mismatch");
     let mut steps = Vec::new();
     let mut results: Vec<TupleId> = Vec::new();
-    let mut queue: VecDeque<Entry> = VecDeque::new();
+    // FIFO as a cursor over a grow-only Vec: same visit order as a
+    // VecDeque, but the snapshot of "still queued" is just a subslice.
+    let mut queue: Vec<Entry> = Vec::new();
+    let mut cursor = 0usize;
 
     // Round 0: the top level.
     let mut events = Vec::new();
@@ -340,7 +358,7 @@ pub(super) fn h_search_trace(
                     pattern: node.pattern.to_string(),
                     acc: d,
                 });
-                queue.push_back(Entry { node: root, acc: d });
+                queue.push(Entry { node: root, acc: d });
             }
         } else {
             events.push(TraceEvent::Pruned {
@@ -351,11 +369,13 @@ pub(super) fn h_search_trace(
     }
     steps.push(TraceStep {
         events,
-        queue_after: snapshot(idx, &queue),
+        queue_after: snapshot(idx, &queue[cursor..]),
         results_so_far: results.clone(),
     });
 
-    while let Some(Entry { node, acc }) = queue.pop_front() {
+    while cursor < queue.len() {
+        let Entry { node, acc } = queue[cursor];
+        cursor += 1;
         let mut events = Vec::new();
         for &child_id in &idx.nodes[node as usize].children {
             let child = &idx.nodes[child_id as usize];
@@ -381,7 +401,7 @@ pub(super) fn h_search_trace(
                     pattern: child.pattern.to_string(),
                     acc: total,
                 });
-                queue.push_back(Entry {
+                queue.push(Entry {
                     node: child_id,
                     acc: total,
                 });
@@ -389,7 +409,7 @@ pub(super) fn h_search_trace(
         }
         steps.push(TraceStep {
             events,
-            queue_after: snapshot(idx, &queue),
+            queue_after: snapshot(idx, &queue[cursor..]),
             results_so_far: results.clone(),
         });
     }
@@ -402,8 +422,8 @@ pub(super) fn h_search_trace(
     (results, steps)
 }
 
-fn snapshot(idx: &DynamicHaIndex, queue: &VecDeque<Entry>) -> Vec<String> {
-    queue
+fn snapshot(idx: &DynamicHaIndex, queued: &[Entry]) -> Vec<String> {
+    queued
         .iter()
         .map(|e| idx.nodes[e.node as usize].pattern.to_string())
         .collect()

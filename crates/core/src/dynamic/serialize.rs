@@ -324,6 +324,7 @@ impl DynamicHaIndex {
             },
             len: len_total,
             epoch: 0,
+            flat: None,
         };
         // Structural validation (disjoint masks, full coverage, code
         // reconstruction) — a corrupted blob must not produce an index

@@ -39,7 +39,7 @@ pub mod select;
 mod static_ha;
 pub mod testkit;
 
-pub use dynamic::{DhaConfig, DynamicHaIndex};
+pub use dynamic::{DhaConfig, DynamicHaIndex, FlatHaIndex};
 pub use hengine::HEngine;
 pub use hmsearch::HmSearch;
 pub use linear::LinearScanIndex;

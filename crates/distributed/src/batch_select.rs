@@ -85,7 +85,10 @@ pub fn try_mrha_batch_select(
         },
         |&part, n| (part as usize).min(n - 1),
         |_part, tuples, out: &mut Vec<(u32, TupleId)>| {
-            let local = DynamicHaIndex::build_with(tuples, dha.clone());
+            let mut local = DynamicHaIndex::build_with(tuples, dha.clone());
+            // Each reducer answers the whole query batch off one build;
+            // freezing up front amortises the snapshot over all probes.
+            local.freeze();
             for (qi, q) in shared_queries.iter().enumerate() {
                 for id in local.search(q, h) {
                     out.push((qi as u32, id));

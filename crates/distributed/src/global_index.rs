@@ -74,11 +74,14 @@ pub fn try_build_global_index(
         (pre.hasher.approx_bytes() + pre.partitioner.shuffle_bytes()) * workers;
 
     let locals = result.outputs;
-    let index = if locals.is_empty() {
+    let mut index = if locals.is_empty() {
         DynamicHaIndex::empty(pre.hasher_code_len(), dha)
     } else {
         DynamicHaIndex::merge_all(locals)
     };
+    // The merged index is read-only from here on; freeze it so every
+    // downstream H-Search runs off the flat CSR/SoA snapshot.
+    index.freeze();
     Ok(GlobalIndexBuild { index, metrics })
 }
 

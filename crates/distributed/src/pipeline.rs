@@ -276,12 +276,15 @@ pub fn try_mrha_hamming_join_on_dfs(
         // A decode failure here means the blob rotted *between* the block
         // checksum verifying and H-Search consuming it — the wire format's
         // own footer is the last line of defense.
-        let index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone()).map_err(|_| {
+        let mut index = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone()).map_err(|_| {
             JobError::StorageFailed(DfsError::ChecksumMismatch {
                 path: index_path.clone(),
                 block: 0,
             })
         })?;
+        // The decoded index only serves probes from here; freeze once so the
+        // join's H-Search fan-out hits the flat CSR/SoA snapshot.
+        index.freeze();
         try_join_option_a(&index, s, &pre, cfg.h, cfg.workers, cfg.partitions, faults)?
     };
     times.join = t.elapsed();

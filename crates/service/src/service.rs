@@ -302,11 +302,15 @@ impl HaServe {
         let shards: Vec<RwLock<DynamicHaIndex>> = parts
             .into_iter()
             .map(|p| {
-                RwLock::new(if p.is_empty() {
+                let mut idx = if p.is_empty() {
                     DynamicHaIndex::empty(code_len, cfg.dha.clone())
                 } else {
                     DynamicHaIndex::build_with(p, cfg.dha.clone())
-                })
+                };
+                // Serve reads off the frozen CSR/SoA snapshot; mutations
+                // re-freeze under the shard's write lock.
+                idx.freeze();
+                RwLock::new(idx)
             })
             .collect();
 
@@ -487,6 +491,11 @@ impl HaServe {
         {
             let mut idx = self.inner.shards[s].write();
             idx.insert(code, id);
+            // Re-freeze while we still hold the write lock: readers never
+            // see a stale snapshot and never fall back to the arena BFS.
+            // This trades write latency for read throughput, the serving
+            // layer's stated bias.
+            idx.freeze();
             self.inner.epoch.fetch_add(1, Ordering::SeqCst);
         }
         self.inner.state.lock().inserts += 1;
@@ -503,6 +512,7 @@ impl HaServe {
             let mut idx = self.inner.shards[s].write();
             let removed = idx.delete(code, id);
             if removed {
+                idx.freeze();
                 self.inner.epoch.fetch_add(1, Ordering::SeqCst);
             }
             removed

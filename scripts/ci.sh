@@ -31,6 +31,12 @@ run cargo test -q --test storage_robustness
 run cargo test -q --test serve_concurrency
 run cargo test -q --test observability
 run cargo test -q --test panic_audit
+run cargo test -q --test flat_equivalence
+
+# Compile-only smoke over the criterion benches: keeps the bench
+# harnesses (including flat_search) building without paying for a
+# measured run in CI.
+run cargo bench --no-run -q -p ha-bench
 
 echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps ${CRATES[*]}"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps "${CRATES[@]}" >/dev/null

@@ -1,0 +1,278 @@
+//! The frozen CSR/SoA snapshot must be invisible: for ANY interleaving of
+//! H-Build, H-Insert and H-Delete, a frozen [`FlatHaIndex`] answers every
+//! select, batch, kNN and trace query **byte-identically** (same ids, same
+//! order) to the mutable arena's BFS, and both agree with the linear-scan
+//! oracle at every radius. These properties generate arbitrary mutation
+//! histories and hold the snapshot to that claim, including the
+//! epoch-invalidation path (mutate after freeze → stale snapshot must be
+//! bypassed, refreeze must revalidate).
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::testkit::assert_matches_oracle;
+use hamming_suite::index::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two views of the same logical index: one answering from the frozen
+/// flat snapshot, one forced onto the mutable arena's BFS.
+fn views(idx: &DynamicHaIndex) -> (DynamicHaIndex, DynamicHaIndex) {
+    let mut frozen = idx.clone();
+    frozen.freeze();
+    assert!(frozen.flat_is_current(), "freeze must install a current snapshot");
+    let mut thawed = idx.clone();
+    thawed.thaw();
+    assert!(!thawed.flat_is_current(), "thaw must drop the snapshot");
+    (frozen, thawed)
+}
+
+/// kNN by doubling-radius over `search_with_distances` — the strategy the
+/// kNN layer uses, applied identically to both views so any divergence in
+/// result *order* (not just set) is caught by the byte-compare.
+fn knn(idx: &DynamicHaIndex, q: &BinaryCode, k: usize) -> Vec<(TupleId, u32)> {
+    let max_h = idx.code_len() as u32;
+    let mut h = 1u32;
+    loop {
+        let mut hits = idx.search_with_distances(q, h);
+        if hits.len() >= k || h >= max_h {
+            hits.sort_unstable_by_key(|&(id, d)| (d, id));
+            hits.truncate(k);
+            return hits;
+        }
+        h = (h * 2).min(max_h);
+    }
+}
+
+/// Replays `ops` mutation steps (biased 2:1 insert:delete) on `idx`,
+/// mirroring them into `live` so the oracle stays in sync.
+fn churn(
+    idx: &mut DynamicHaIndex,
+    live: &mut Vec<(BinaryCode, TupleId)>,
+    ops: usize,
+    code_len: usize,
+    rng: &mut StdRng,
+    next_id: &mut TupleId,
+) {
+    for _ in 0..ops {
+        if rng.gen_bool(0.33) && !live.is_empty() {
+            let pos = rng.gen_range(0..live.len());
+            let (code, id) = live.swap_remove(pos);
+            assert!(idx.delete(&code, id), "delete of a live tuple must succeed");
+        } else {
+            // Half the inserts are near-duplicates of live codes so the
+            // tree grows deep residual paths, not just wide roots.
+            let code = if !live.is_empty() && rng.gen_bool(0.5) {
+                let mut c = live[rng.gen_range(0..live.len())].0.clone();
+                c.flip(rng.gen_range(0..code_len));
+                c
+            } else {
+                BinaryCode::random(code_len, rng)
+            };
+            idx.insert(code.clone(), *next_id);
+            live.push((code, *next_id));
+            *next_id += 1;
+        }
+    }
+}
+
+/// Every radius 0..=max_h: frozen ≡ thawed byte-for-byte across all four
+/// query surfaces, and both match the oracle.
+fn assert_views_agree(
+    frozen: &DynamicHaIndex,
+    thawed: &DynamicHaIndex,
+    live: &[(BinaryCode, TupleId)],
+    queries: &[BinaryCode],
+    max_h: u32,
+    ctx: &str,
+) {
+    for q in queries {
+        for h in 0..=max_h {
+            let f = frozen.search(q, h);
+            let t = thawed.search(q, h);
+            assert_eq!(f, t, "{ctx}: select h={h} must be byte-identical");
+            assert_matches_oracle(f, live, q, h, &format!("{ctx} flat h={h}"));
+            assert_eq!(
+                frozen.search_with_distances(q, h),
+                thawed.search_with_distances(q, h),
+                "{ctx}: distances h={h}"
+            );
+            assert_eq!(
+                frozen.search_codes(q, h),
+                thawed.search_codes(q, h),
+                "{ctx}: codes h={h}"
+            );
+            assert_eq!(
+                frozen.search_trace(q, h),
+                thawed.search_trace(q, h),
+                "{ctx}: trace h={h}"
+            );
+        }
+    }
+    let max_h = max_h.max(1);
+    assert_eq!(
+        frozen.batch_search(queries, max_h),
+        thawed.batch_search(queries, max_h),
+        "{ctx}: batch"
+    );
+    for (i, q) in queries.iter().enumerate() {
+        for k in [1usize, 3, 16] {
+            assert_eq!(knn(frozen, q, k), knn(thawed, q, k), "{ctx}: kNN q={i} k={k}");
+        }
+    }
+}
+
+fn dataset(rng: &mut StdRng, n: usize, code_len: usize) -> Vec<(BinaryCode, TupleId)> {
+    // A few cluster centers plus noise — mirrors the clustered profile
+    // the flat layout is optimised for, with plenty of shared prefixes.
+    let centers: Vec<BinaryCode> =
+        (0..4).map(|_| BinaryCode::random(code_len, rng)).collect();
+    (0..n as TupleId)
+        .map(|id| {
+            let code = if rng.gen_bool(0.7) {
+                let mut c = centers[rng.gen_range(0..centers.len())].clone();
+                for _ in 0..rng.gen_range(0..4) {
+                    c.flip(rng.gen_range(0..code_len));
+                }
+                c
+            } else {
+                BinaryCode::random(code_len, rng)
+            };
+            (code, id)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary build → churn histories: after every burst of mutations
+    /// the refrozen snapshot answers exactly like the arena and the oracle.
+    #[test]
+    fn frozen_equals_arena_under_arbitrary_histories(
+        seed in any::<u64>(),
+        initial in 0usize..120,
+        bursts in 1usize..4,
+        ops_per_burst in 1usize..40,
+        wide in any::<bool>(),
+    ) {
+        let code_len = if wide { 96 } else { 24 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live = dataset(&mut rng, initial, code_len);
+        let mut idx = DynamicHaIndex::build_with(
+            live.clone(),
+            DhaConfig { insert_buffer_cap: 8, ..DhaConfig::default() },
+        );
+        let mut next_id: TupleId = 100_000;
+        for burst in 0..bursts {
+            churn(&mut idx, &mut live, ops_per_burst, code_len, &mut rng, &mut next_id);
+            idx.freeze();
+            idx.check_invariants();
+            let (frozen, thawed) = views(&idx);
+            let queries: Vec<BinaryCode> = (0..3)
+                .map(|_| {
+                    if !live.is_empty() && rng.gen_bool(0.6) {
+                        let mut q = live[rng.gen_range(0..live.len())].0.clone();
+                        q.flip(rng.gen_range(0..code_len));
+                        q
+                    } else {
+                        BinaryCode::random(code_len, &mut rng)
+                    }
+                })
+                .collect();
+            assert_views_agree(
+                &frozen, &thawed, &live, &queries, 6,
+                &format!("seed={seed} burst={burst}"),
+            );
+        }
+    }
+
+    /// Epoch invalidation: a mutation after freeze must take the snapshot
+    /// out of service (answers still exact, via the arena), and refreezing
+    /// must bring a *current* snapshot back with identical answers.
+    #[test]
+    fn mutations_invalidate_snapshot_and_refreeze_revalidates(
+        seed in any::<u64>(),
+        n in 1usize..80,
+        ops in 1usize..20,
+    ) {
+        let code_len = 32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live = dataset(&mut rng, n, code_len);
+        let mut idx = DynamicHaIndex::build_with(
+            live.clone(),
+            DhaConfig { insert_buffer_cap: 4, ..DhaConfig::default() },
+        );
+        idx.freeze();
+        prop_assert!(idx.flat_is_current());
+        let stale_epoch = idx.flat().map(|f| f.epoch());
+
+        let mut next_id: TupleId = 200_000;
+        churn(&mut idx, &mut live, ops, code_len, &mut rng, &mut next_id);
+        prop_assert!(
+            !idx.flat_is_current(),
+            "any mutation must invalidate the snapshot"
+        );
+
+        // Stale window: dispatch must fall back to the arena and stay exact.
+        let q = BinaryCode::random(code_len, &mut rng);
+        for h in [0u32, 2, 5] {
+            assert_matches_oracle(idx.search(&q, h), &live, &q, h, "stale window");
+        }
+
+        idx.freeze();
+        prop_assert!(idx.flat_is_current(), "refreeze must revalidate");
+        prop_assert_ne!(
+            idx.flat().map(|f| f.epoch()),
+            stale_epoch,
+            "refrozen snapshot must carry the new epoch"
+        );
+        let (frozen, thawed) = views(&idx);
+        assert_views_agree(&frozen, &thawed, &live, &[q], 5, "after refreeze");
+    }
+
+    /// Deleting everything and freezing must leave an empty, well-formed
+    /// snapshot; reinserting afterwards must still round-trip.
+    #[test]
+    fn drain_and_refill_round_trips(seed in any::<u64>(), n in 1usize..40) {
+        let code_len = 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let live = dataset(&mut rng, n, code_len);
+        let mut idx = DynamicHaIndex::build(live.clone());
+        for (code, id) in &live {
+            prop_assert!(idx.delete(code, *id));
+        }
+        idx.freeze();
+        prop_assert_eq!(idx.len(), 0);
+        prop_assert_eq!(idx.dead_slots(), 0, "freeze must compact dead slots");
+        let q = BinaryCode::random(code_len, &mut rng);
+        prop_assert!(idx.search(&q, code_len as u32).is_empty());
+
+        idx.insert(live[0].0.clone(), live[0].1);
+        prop_assert!(!idx.flat_is_current());
+        idx.freeze();
+        let hits = idx.search(&live[0].0, 0);
+        prop_assert_eq!(hits, vec![live[0].1]);
+    }
+}
+
+/// Spot check: the frozen snapshot of a parallel H-Build answers exactly
+/// like the sequential build's — freezing composes with parallel build.
+#[test]
+fn parallel_build_snapshot_matches_sequential() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let data = dataset(&mut rng, 3000, 32);
+    let mut seq = DynamicHaIndex::build(data.clone());
+    let mut par = DynamicHaIndex::build_parallel(data.clone(), 4);
+    seq.freeze();
+    par.freeze();
+    let (frozen_seq, thawed_seq) = views(&seq);
+    for trial in 0..4 {
+        let q = BinaryCode::random(32, &mut rng);
+        for h in [0u32, 3, 6] {
+            let a = frozen_seq.search(&q, h);
+            assert_eq!(a, par.search(&q, h), "trial {trial} h={h}: par vs seq");
+            assert_eq!(a, thawed_seq.search(&q, h), "trial {trial} h={h}: flat vs arena");
+            assert_matches_oracle(a, &data, &q, h, &format!("trial {trial}"));
+        }
+    }
+}

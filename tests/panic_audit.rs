@@ -66,6 +66,10 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     ("crates/service/src/lib.rs", 0, 0, 0, 0),
     ("crates/service/src/metrics.rs", 0, 0, 0, 0),
     ("crates/service/src/service.rs", 0, 0, 0, 0),
+    // The frozen search snapshot sits on the hot path of every layer
+    // above it (serve shards, the distributed join, the bench harness),
+    // so it is held to the same zero budget as the serving layer.
+    ("crates/core/src/dynamic/flat.rs", 0, 0, 0, 0),
     ("crates/obs/src/event.rs", 0, 0, 0, 0),
     ("crates/obs/src/json.rs", 0, 0, 0, 0),
     ("crates/obs/src/lib.rs", 0, 0, 0, 0),
