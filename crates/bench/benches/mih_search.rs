@@ -1,0 +1,66 @@
+//! MIH chunk-table select vs the frozen flat snapshot vs the mutable
+//! arena (DESIGN.md, "Backend selection"). The 512-bit sparse group is
+//! where MIH must earn its keep — per-chunk radius budgets shrink the
+//! candidate set far below what any row-major scan touches — while the
+//! 64-bit clustered group shows the regime where the flat snapshot keeps
+//! winning and the planner must *not* route to MIH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_bench::query_workload;
+use ha_core::testkit::{clustered_dataset, random_dataset};
+use ha_core::{DynamicHaIndex, HammingIndex, MihIndex};
+
+fn bench_backends(c: &mut Criterion) {
+    for (code_len, n, clustered, seed) in [
+        (64usize, 20_000usize, true, 11_000u64),
+        (512, 4_000, false, 11_010),
+    ] {
+        let data = if clustered {
+            clustered_dataset(n, code_len, 24, 4, seed)
+        } else {
+            random_dataset(n, code_len, seed)
+        };
+        let queries = query_workload(&data, 64, seed + 1);
+
+        let idx = DynamicHaIndex::build(data.clone());
+        let mut frozen = idx.clone();
+        frozen.freeze();
+        let mut thawed = idx;
+        thawed.thaw();
+        let mih = MihIndex::build(code_len, data);
+
+        let shape = if clustered { "clustered" } else { "sparse" };
+        let mut group = c.benchmark_group(format!("mih_search_{code_len}bit_{shape}"));
+        for h in [3u32, 6] {
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::new("mih", h), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(mih.search(&queries[qi % queries.len()], h))
+                })
+            });
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::new("flat", h), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(frozen.search(&queries[qi % queries.len()], h))
+                })
+            });
+            let mut qi = 0usize;
+            group.bench_function(BenchmarkId::new("arena", h), |b| {
+                b.iter(|| {
+                    qi += 1;
+                    std::hint::black_box(thawed.search(&queries[qi % queries.len()], h))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_backends
+}
+criterion_main!(benches);

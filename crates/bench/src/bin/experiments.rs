@@ -19,7 +19,7 @@
 use ha_bench::{exp, report};
 use ha_bench::Scale;
 
-const USAGE: &str = "usage: experiments [--json <path>] [--trace <path>] [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|flat|serve|trace|all]...
+const USAGE: &str = "usage: experiments [--json <path>] [--trace <path>] [table3|table4|table5|fig6|fig7|fig8|fig9|fig10|flat|planner|serve|trace|all]...
 
 Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   table3   H-Search execution trace on the running example
@@ -31,6 +31,7 @@ Regenerates the paper's evaluation artifacts (EDBT 2015, Tang et al.):
   fig9     MapReduce join: running time vs data size   (runs with fig7)
   fig10    effect of the preprocessing sample rate
   flat     frozen CSR/SoA snapshot vs arena BFS; parallel H-Build scaling
+  planner  all four exact backends timed per grid cell vs the cost model's pick
   serve    HA-Serve: online select throughput, single vs micro-batched
   trace    HA-Trace: per-phase span profile of the DFS-backed MRHA join
   all      everything above
@@ -101,6 +102,7 @@ fn main() {
             "fig8" => exp::fig8::run(&scale),
             "fig10" => exp::fig10::run(&scale),
             "flat" => exp::flat::run(&scale),
+            "planner" => exp::planner::run(&scale),
             "serve" => exp::serve::run(&scale),
             "trace" => exp::trace::run(&scale),
             "all" => {
@@ -115,6 +117,7 @@ fn main() {
                 }
                 exp::fig10::run(&scale);
                 exp::flat::run(&scale);
+                exp::planner::run(&scale);
                 exp::serve::run(&scale);
                 exp::trace::run(&scale);
             }

@@ -18,7 +18,10 @@
 //!   *Hamming downward-closure property* (Proposition 1) that lets an index
 //!   discard whole groups of tuples with a single distance computation.
 //! * [`segment`] — fixed-width segmentation helpers used by the Static
-//!   HA-Index, the Manku multi-hash-table baseline and HEngine.
+//!   HA-Index, the Manku multi-hash-table baseline, HEngine and MIH.
+//! * [`chunk`] — chunked-probe kernels for Multi-Index Hashing: exact
+//!   neighborhood sizes, deterministic neighborhood enumeration, and the
+//!   early-exit word-slice distance used for candidate verification.
 //!
 //! # Bit-order convention
 //!
@@ -36,6 +39,7 @@
 //! assert_eq!(a.hamming(&b), 3);
 //! ```
 
+pub mod chunk;
 mod code;
 mod error;
 pub mod gray;

@@ -1,6 +1,6 @@
 //! Fixed-width segmentation of binary codes.
 //!
-//! Three of the indexes in this suite carve codes into contiguous segments:
+//! Four of the indexes in this suite carve codes into contiguous segments:
 //!
 //! * the **Static HA-Index** shares equal segments at the same offset as
 //!   graph vertices;
@@ -8,18 +8,26 @@
 //!   (if `hamming(a,b) <= h` and there are `h+1` segments, at least one
 //!   segment matches exactly — the pigeonhole filter);
 //! * **HEngine** relaxes that to segments within distance 1, halving the
-//!   number of tables needed.
+//!   number of tables needed;
+//! * **MIH** generalizes to segments within distance `⌊h/m⌋` (+1 on the
+//!   leading `h mod m` segments), probed by neighborhood enumeration
+//!   (see [`crate::chunk`]).
 //!
 //! A [`Segmentation`] precomputes the offsets/widths once so hot query paths
 //! only do `extract` calls.
 
 use crate::BinaryCode;
 
-/// A partition of `[0, code_len)` into contiguous segments of width ≤ 64.
+/// A partition of `[0, code_len)` into contiguous segments.
 ///
 /// Widths are balanced: when `code_len` is not divisible by the segment
 /// count, the first `code_len % count` segments get one extra bit, mirroring
-/// how the reference implementations split codes.
+/// how the reference implementations split codes. Any `(code_len, count)`
+/// pair with `1 <= count <= code_len` is a valid split — segments wider
+/// than 64 bits are allowed (e.g. 512 bits / 5 segments → 103-bit leading
+/// segments); only the `u64`-returning [`Segmentation::extract`] is
+/// restricted to ≤ 64-bit segments, and [`Segmentation::extract_words`]
+/// covers the wide case.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Segmentation {
     code_len: usize,
@@ -27,20 +35,16 @@ pub struct Segmentation {
 }
 
 impl Segmentation {
-    /// Splits a `code_len`-bit code into `count` balanced segments.
+    /// Splits a `code_len`-bit code into `count` balanced segments, the
+    /// remainder bits landing in the leading segments.
     ///
     /// # Panics
-    /// If `count` is 0, exceeds `code_len`, or any segment would exceed
-    /// 64 bits (so segment values fit a `u64`).
+    /// If `count` is 0 or exceeds `code_len`.
     pub fn new(code_len: usize, count: usize) -> Self {
         assert!(count >= 1, "segment count must be >= 1");
         assert!(count <= code_len, "more segments than bits");
         let base = code_len / count;
         let extra = code_len % count;
-        assert!(
-            base + usize::from(extra > 0) <= 64,
-            "segments wider than 64 bits are not supported"
-        );
         let mut bounds = Vec::with_capacity(count);
         let mut start = 0;
         for i in 0..count {
@@ -82,11 +86,39 @@ impl Segmentation {
         self.bounds[i]
     }
 
+    /// Width of the widest segment. Callers keying segments by `u64`
+    /// (every hash-table index in this suite) must check this is ≤ 64 —
+    /// and should reject wider configurations loudly rather than silently
+    /// adjusting the segment count.
+    pub fn max_width(&self) -> usize {
+        self.bounds.iter().map(|&(_, w)| w).max().unwrap_or(0)
+    }
+
     /// Extracts segment `i` of `code` as an integer (MSB-first).
+    ///
+    /// # Panics
+    /// If segment `i` is wider than 64 bits — use
+    /// [`Segmentation::extract_words`] for wide segments.
     #[inline]
     pub fn extract(&self, code: &BinaryCode, i: usize) -> u64 {
         let (start, width) = self.bounds[i];
         code.extract(start, width)
+    }
+
+    /// Extracts segment `i` of `code` as MSB-first 64-bit words (the last
+    /// word holding the tail bits in its low positions), supporting
+    /// segments of any width. For segments ≤ 64 bits the single word
+    /// equals [`Segmentation::extract`].
+    pub fn extract_words(&self, code: &BinaryCode, i: usize) -> Vec<u64> {
+        let (start, width) = self.bounds[i];
+        let mut out = Vec::with_capacity(width.div_ceil(64));
+        let mut off = 0;
+        while off < width {
+            let w = (width - off).min(64);
+            out.push(code.extract(start + off, w));
+            off += w;
+        }
+        out
     }
 
     /// Extracts every segment of `code`.
@@ -174,12 +206,76 @@ mod tests {
         Segmentation::new(4, 5);
     }
 
+    /// Every (bits, m) pair up to 512 bits / 8 segments: the split must be
+    /// exhaustive, contiguous, balanced to within one bit, and the
+    /// remainder bits must land in the *leading* segments. This is the
+    /// regression for the historical ≤64-bit-segment restriction, which
+    /// rejected splits like 512/5 outright and pushed callers into
+    /// silently raising their chunk counts.
+    #[test]
+    fn every_split_up_to_512_by_8_is_balanced_and_front_loaded() {
+        for bits in 1usize..=512 {
+            for m in 1..=8usize.min(bits) {
+                let s = Segmentation::new(bits, m);
+                assert_eq!(s.count(), m, "bits={bits} m={m}");
+                assert_eq!(s.code_len(), bits);
+                let base = bits / m;
+                let extra = bits % m;
+                let mut start = 0;
+                for i in 0..m {
+                    let (st, w) = s.bounds(i);
+                    assert_eq!(st, start, "bits={bits} m={m} seg={i} start");
+                    assert_eq!(
+                        w,
+                        base + usize::from(i < extra),
+                        "bits={bits} m={m} seg={i}: remainder must front-load"
+                    );
+                    start += w;
+                }
+                assert_eq!(start, bits, "bits={bits} m={m}: widths must sum to bits");
+                assert_eq!(s.max_width(), base + usize::from(extra > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_segments_extract_via_words() {
+        // 512 / 5 → widths 103,103,102,102,102; extract() would panic,
+        // extract_words() must reproduce the exact bits.
+        let s = Segmentation::new(512, 5);
+        assert_eq!(s.max_width(), 103);
+        let mut rng = StdRng::seed_from_u64(99);
+        let code = BinaryCode::random(512, &mut rng);
+        for i in 0..5 {
+            let (start, width) = s.bounds(i);
+            let words = s.extract_words(&code, i);
+            assert_eq!(words.len(), width.div_ceil(64));
+            // Recombine word-extracted bits and compare bit-by-bit.
+            let mut off = 0;
+            for w in &words {
+                let chunk = (width - off).min(64);
+                for b in 0..chunk {
+                    let want = code.get(start + off + b);
+                    let got = (w >> (chunk - 1 - b)) & 1 == 1;
+                    assert_eq!(got, want, "seg={i} bit={}", off + b);
+                }
+                off += chunk;
+            }
+        }
+        // Narrow segments: extract_words is a one-word extract.
+        let narrow = Segmentation::new(96, 3);
+        let c96 = BinaryCode::random(96, &mut rng);
+        for i in 0..3 {
+            assert_eq!(narrow.extract_words(&c96, i), vec![narrow.extract(&c96, i)]);
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_segments_partition_the_code(
             seed in any::<u64>(), len in 2usize..300, count in 1usize..16
         ) {
-            let count = count.min(len).max(len.div_ceil(64));
+            let count = count.min(len);
             let s = Segmentation::new(len, count);
             // Coverage + disjointness.
             let mut covered = vec![false; len];
@@ -191,12 +287,20 @@ mod tests {
                 }
             }
             prop_assert!(covered.iter().all(|&c| c));
-            // Segment distances sum to the full distance.
+            // Segment distances sum to the full distance — via
+            // extract_words, so wide segments (len/count > 64) are
+            // exercised too.
             let mut rng = StdRng::seed_from_u64(seed);
             let a = BinaryCode::random(len, &mut rng);
             let b = BinaryCode::random(len, &mut rng);
             let total: u32 = (0..s.count())
-                .map(|i| (s.extract(&a, i) ^ s.extract(&b, i)).count_ones())
+                .map(|i| {
+                    s.extract_words(&a, i)
+                        .iter()
+                        .zip(s.extract_words(&b, i))
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum::<u32>()
+                })
                 .sum();
             prop_assert_eq!(total, a.hamming(&b));
         }

@@ -360,6 +360,43 @@ impl DynamicHaIndex {
         self.flat().is_some()
     }
 
+    /// H-Search forced onto the mutable arena's BFS, bypassing any frozen
+    /// snapshot. The query planner uses these `_arena` entry points to
+    /// route explicitly: the regular entry points auto-dispatch to the
+    /// flat layout whenever a current snapshot exists, which would make
+    /// an "Arena BFS" routing decision unobservable.
+    pub fn search_arena(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        search::h_search(self, query, h)
+    }
+
+    /// [`DynamicHaIndex::search_codes`] forced onto the arena BFS.
+    pub fn search_codes_arena(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        search::h_search_codes(self, query, h)
+    }
+
+    /// [`DynamicHaIndex::search_with_distances`] forced onto the arena BFS.
+    pub fn search_with_distances_arena(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        search::h_search_with_distances(self, query, h)
+    }
+
+    /// [`DynamicHaIndex::batch_search`] forced onto the arena BFS.
+    pub fn batch_search_arena(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        search::h_batch_search(self, queries, h)
+    }
+
+    /// Iterates every live stored code (leaf codes plus buffered inserts),
+    /// one per distinct code, **without** ids — works in leafless mode
+    /// too, unlike [`DynamicHaIndex::items`]. The planner samples this to
+    /// estimate dataset clusteredness.
+    pub fn leaf_codes(&self) -> impl Iterator<Item = &BinaryCode> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .filter_map(|n| n.leaf.as_ref())
+            .map(|leaf| &leaf.code)
+            .chain(self.buffer.iter().map(|(code, _)| code))
+    }
+
     /// Number of dead (`!alive`) slots lingering in the arena — what the
     /// next [`DynamicHaIndex::freeze`] will compact away.
     pub fn dead_slots(&self) -> usize {

@@ -12,6 +12,8 @@
 //! | [`MultiHashTable`] | Manku et al. (MH-4 / MH-10) | 2 |
 //! | [`HEngine`] | HEngine-style segment tables | 2 |
 //! | [`HmSearch`] | HmSearch signature index | 2 |
+//! | [`MihIndex`] | Multi-Index Hashing (Norouzi et al.) | 2 |
+//! | [`planner::PlannedIndex`] | adaptive backend routing | — |
 //!
 //! Every index answers the **Hamming-select** of Definition 1 through
 //! [`HammingIndex::search`]; [`select`] adds the **Hamming-join**
@@ -33,7 +35,9 @@ mod hengine;
 mod hmsearch;
 mod linear;
 mod memory;
+mod mih;
 mod multihash;
+pub mod planner;
 mod radix;
 pub mod select;
 mod static_ha;
@@ -44,7 +48,9 @@ pub use hengine::HEngine;
 pub use hmsearch::HmSearch;
 pub use linear::LinearScanIndex;
 pub use memory::MemoryReport;
+pub use mih::MihIndex;
 pub use multihash::MultiHashTable;
+pub use planner::{Backend, CostModel, PlannedIndex};
 pub use radix::RadixTreeIndex;
 pub use static_ha::StaticHaIndex;
 

@@ -1,0 +1,464 @@
+//! Multi-Index Hashing (Norouzi, Punjani & Fleet) — the second exact
+//! search backend beside the HA-Index.
+//!
+//! The code is split into `m` chunks ([`Segmentation`] — balanced widths,
+//! remainder bits front-loaded) and each chunk keys one hash table mapping
+//! chunk value → rows. A query with threshold `h = m·r + a` (`0 <= a < m`)
+//! probes the first `a + 1` tables at radius `r` and the rest at `r − 1`:
+//! the generalized pigeonhole principle (see [`ha_bitcode::chunk`])
+//! guarantees every answer lands in at least one probed bucket, so — unlike
+//! the Manku-style [`crate::MultiHashTable`], which is complete only up to
+//! the table count fixed at build time — MIH is complete for **every**
+//! `h`. Probing enumerates all chunk values within the per-chunk radius
+//! ([`for_each_neighbor`]); candidates are deduplicated with a row bitmap
+//! and verified against the full code with an early-exit word-slice
+//! distance ([`distance_within_words`]).
+//!
+//! The enumeration cost `Σ_k Σ_i C(w_k, i)` is known exactly before any
+//! table is touched ([`MihIndex::probe_estimate`]); when it reaches the
+//! row count the index falls back to scanning its own flat row storage,
+//! so the worst case is a linear scan, never a combinatorial blowup. This
+//! is the regime structure the query planner's cost model rides on: few
+//! wide chunks (large `n`) keep buckets selective, and the probe budget
+//! `⌊h/m⌋` stays small exactly when `h` is small relative to the code
+//! width — sparse, wide codes, where the HA-Flat traversal loses steam.
+
+use std::collections::HashMap;
+
+use ha_bitcode::chunk::{distance_within_words, for_each_neighbor, neighborhood_size};
+use ha_bitcode::segment::Segmentation;
+use ha_bitcode::BinaryCode;
+
+use crate::memory::{map_bytes, vec_bytes, MemoryReport};
+use crate::{HammingIndex, MutableIndex, TupleId};
+
+/// Multi-Index Hashing over fixed-length binary codes.
+///
+/// Rows live in a flat structure-of-arrays store (`stride` words per code,
+/// the exact [`BinaryCode::words`] layout); the `m` chunk tables hold row
+/// indexes, so codes are stored once no matter how many tables there are —
+/// the replication the paper criticises Manku's method for is avoided by
+/// construction.
+///
+/// ```
+/// use ha_core::{HammingIndex, MihIndex};
+/// use ha_bitcode::BinaryCode;
+///
+/// let index = MihIndex::build(16, (0..64u64).map(|i| (BinaryCode::from_u64(i, 16), i)));
+/// let q = BinaryCode::from_u64(5, 16);
+/// let mut hits = index.search(&q, 1);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![1, 4, 5, 7, 13, 21, 37]); // distance <= 1 from 5
+/// assert_eq!(index.complete_up_to(), None);       // exact at EVERY h
+/// ```
+#[derive(Clone, Debug)]
+pub struct MihIndex {
+    code_len: usize,
+    stride: usize,
+    seg: Segmentation,
+    /// One table per chunk: chunk value → rows whose code has that value.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    /// Flat row storage, `stride` words per row.
+    row_words: Vec<u64>,
+    ids: Vec<TupleId>,
+    live: Vec<bool>,
+    tombstones: usize,
+}
+
+impl MihIndex {
+    /// Chunk count minimising probe cost for an expected dataset size:
+    /// `m ≈ bits / log2(n)` (Norouzi et al. §3.3 — chunk width near
+    /// `log2 n` keeps expected bucket occupancy at O(1)), clamped so every
+    /// chunk fits a `u64` key and no chunk is empty.
+    pub fn auto_chunks(code_len: usize, expected_len: usize) -> usize {
+        assert!(code_len >= 1, "code_len must be >= 1");
+        let lg = (expected_len.max(2) as f64).log2();
+        let m = (code_len as f64 / lg).round() as usize;
+        m.clamp(code_len.div_ceil(64), code_len)
+    }
+
+    /// An empty index with an explicit chunk count.
+    ///
+    /// # Panics
+    /// If `code_len` is 0, or `chunks` is outside
+    /// `[ceil(code_len / 64), code_len]` — a chunk wider than 64 bits
+    /// cannot key a `u64` table, and the constructor rejects such
+    /// configurations loudly instead of silently adjusting the count.
+    pub fn new(code_len: usize, chunks: usize) -> Self {
+        assert!(code_len >= 1, "code_len must be >= 1");
+        assert!(
+            chunks >= code_len.div_ceil(64),
+            "{chunks} chunks over {code_len} bits would exceed the 64-bit \
+             chunk-key width; need at least {}",
+            code_len.div_ceil(64)
+        );
+        let seg = Segmentation::new(code_len, chunks);
+        debug_assert!(seg.max_width() <= 64);
+        MihIndex {
+            code_len,
+            stride: code_len.div_ceil(64),
+            tables: vec![HashMap::new(); chunks],
+            seg,
+            row_words: Vec::new(),
+            ids: Vec::new(),
+            live: Vec::new(),
+            tombstones: 0,
+        }
+    }
+
+    /// An empty index whose chunk count is tuned for an expected number of
+    /// rows ([`MihIndex::auto_chunks`]).
+    pub fn with_expected_len(code_len: usize, expected_len: usize) -> Self {
+        Self::new(code_len, Self::auto_chunks(code_len, expected_len))
+    }
+
+    /// Builds from an iterator of `(code, id)` pairs, sizing the chunk
+    /// count from the actual item count.
+    ///
+    /// # Panics
+    /// If any code's length differs from `code_len`.
+    pub fn build(code_len: usize, items: impl IntoIterator<Item = (BinaryCode, TupleId)>) -> Self {
+        let items: Vec<_> = items.into_iter().collect();
+        let mut idx = Self::with_expected_len(code_len, items.len());
+        for (code, id) in items {
+            idx.insert(code, id);
+        }
+        idx
+    }
+
+    /// Number of chunk tables.
+    pub fn chunks(&self) -> usize {
+        self.seg.count()
+    }
+
+    /// Per-chunk probe radii for threshold `h`: the first `h % m + 1`
+    /// chunks get `⌊h/m⌋`, the rest `⌊h/m⌋ − 1` (`None` = not probed,
+    /// which happens exactly when `⌊h/m⌋ = 0`).
+    fn probe_radii(&self, h: u32) -> impl Iterator<Item = (usize, Option<u32>)> + '_ {
+        let m = self.seg.count() as u32;
+        let r = h / m;
+        let a = h % m;
+        (0..self.seg.count()).map(move |k| {
+            let radius = if (k as u32) <= a {
+                Some(r)
+            } else {
+                r.checked_sub(1)
+            };
+            (k, radius)
+        })
+    }
+
+    /// Exact number of bucket lookups a `search(…, h)` performs before
+    /// verification — `Σ` over probed chunks of the chunk-neighborhood
+    /// size, saturating. Query-independent; the planner's probe-cost term.
+    pub fn probe_estimate(&self, h: u32) -> u64 {
+        let mut total = 0u64;
+        for (k, radius) in self.probe_radii(h) {
+            if let Some(radius) = radius {
+                let (_, width) = self.seg.bounds(k);
+                total = total.saturating_add(neighborhood_size(width as u32, radius));
+            }
+        }
+        total
+    }
+
+    /// True if `search(…, h)` would take the linear-scan fallback because
+    /// the probe enumeration alone costs as much as scanning every row.
+    pub fn would_scan(&self, h: u32) -> bool {
+        self.probe_estimate(h) >= self.ids.len() as u64
+    }
+
+    fn row(&self, row: usize) -> &[u64] {
+        &self.row_words[row * self.stride..(row + 1) * self.stride]
+    }
+
+    /// Linear scan over the flat row storage — the fallback path, also
+    /// exposed as the planner's "linear scan" backend so that routing to
+    /// `Linear` needs no second copy of the data.
+    pub fn scan_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        assert_eq!(query.len(), self.code_len, "query length mismatch");
+        let qw = query.words();
+        let mut out = Vec::new();
+        for row in 0..self.ids.len() {
+            if !self.live[row] {
+                continue;
+            }
+            if let Some(d) = distance_within_words(qw, self.row(row), h) {
+                out.push((self.ids[row], d));
+            }
+        }
+        out.sort_unstable_by_key(|&(id, d)| (id, d));
+        out
+    }
+
+    /// [`MihIndex::scan_with_distances`] without the distances.
+    pub fn scan(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        self.scan_with_distances(query, h).into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Search returning `(id, exact distance)` pairs, sorted by id — the
+    /// canonical order every entry point of this index produces, so probe
+    /// order never leaks into answers.
+    pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        assert_eq!(query.len(), self.code_len, "query length mismatch");
+        if self.would_scan(h) {
+            return self.scan_with_distances(query, h);
+        }
+        let qw = query.words();
+        let mut seen = vec![false; self.ids.len()];
+        let mut out = Vec::new();
+        for (k, radius) in self.probe_radii(h) {
+            let Some(radius) = radius else { continue };
+            let value = self.seg.extract(query, k);
+            let (_, width) = self.seg.bounds(k);
+            let table = &self.tables[k];
+            for_each_neighbor(value, width as u32, radius, &mut |v| {
+                let Some(bucket) = table.get(&v) else { return };
+                for &row in bucket {
+                    let row = row as usize;
+                    if std::mem::replace(&mut seen[row], true) {
+                        continue;
+                    }
+                    if let Some(d) = distance_within_words(qw, self.row(row), h) {
+                        out.push((self.ids[row], d));
+                    }
+                }
+            });
+        }
+        out.sort_unstable_by_key(|&(id, d)| (id, d));
+        out
+    }
+
+    /// One [`HammingIndex::search`] per query. MIH probes are per-query
+    /// hash lookups with no shared traversal to amortize, so this is a
+    /// plain loop — provided for signature parity with
+    /// [`crate::DynamicHaIndex::batch_search`].
+    pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        queries.iter().map(|q| self.search(q, h)).collect()
+    }
+
+    /// Itemized memory usage (Table 4's space column).
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut structure = vec_bytes(&self.tables);
+        let mut payload = vec_bytes(&self.ids) + vec_bytes(&self.live);
+        for table in &self.tables {
+            structure += map_bytes(table);
+            payload += table.values().map(vec_bytes).sum::<usize>();
+        }
+        MemoryReport {
+            structure_bytes: structure,
+            code_bytes: vec_bytes(&self.row_words),
+            payload_bytes: payload,
+        }
+    }
+}
+
+impl HammingIndex for MihIndex {
+    fn name(&self) -> &'static str {
+        "MIH"
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len() - self.tombstones
+    }
+
+    fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        self.search_with_distances(query, h)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_report().total()
+    }
+}
+
+impl MutableIndex for MihIndex {
+    fn insert(&mut self, code: BinaryCode, id: TupleId) {
+        assert_eq!(code.len(), self.code_len, "code length mismatch");
+        let row = self.ids.len() as u32;
+        self.row_words.extend_from_slice(code.words());
+        self.ids.push(id);
+        self.live.push(true);
+        for k in 0..self.seg.count() {
+            let value = self.seg.extract(&code, k);
+            self.tables[k].entry(value).or_default().push(row);
+        }
+    }
+
+    fn delete(&mut self, code: &BinaryCode, id: TupleId) -> bool {
+        assert_eq!(code.len(), self.code_len, "code length mismatch");
+        // Locate the row via the first chunk's bucket — every stored row
+        // appears in every table, so one bucket suffices.
+        let value = self.seg.extract(code, 0);
+        let Some(bucket) = self.tables[0].get(&value) else {
+            return false;
+        };
+        let Some(row) = bucket.iter().copied().map(|r| r as usize).find(|&r| {
+            self.live[r] && self.ids[r] == id && self.row(r) == code.words()
+        }) else {
+            return false;
+        };
+        // Unlink from every chunk table, dropping emptied buckets.
+        for k in 0..self.seg.count() {
+            let value = self.seg.extract(code, k);
+            if let Some(bucket) = self.tables[k].get_mut(&value) {
+                if let Some(pos) = bucket.iter().position(|&r| r as usize == row) {
+                    bucket.swap_remove(pos);
+                }
+                if bucket.is_empty() {
+                    self.tables[k].remove(&value);
+                }
+            }
+        }
+        self.live[row] = false;
+        self.tombstones += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{assert_matches_oracle, clustered_dataset, random_dataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn auto_chunks_tracks_dataset_size() {
+        // 64-bit codes, 30k rows: log2(30000) ≈ 14.9 → m ≈ 4.
+        assert_eq!(MihIndex::auto_chunks(64, 30_000), 4);
+        // 512-bit codes, 6k rows: log2(6000) ≈ 12.6 → m ≈ 41.
+        assert_eq!(MihIndex::auto_chunks(512, 6_000), 41);
+        // Tiny datasets want chunk width ≈ log2(n) → ~1-bit chunks.
+        assert_eq!(MihIndex::auto_chunks(512, 2), 512);
+        assert_eq!(MihIndex::auto_chunks(32, 0), 32);
+        // Huge n drives m down to the one-chunk-per-u64-word floor.
+        assert_eq!(MihIndex::auto_chunks(64, usize::MAX), 1);
+        assert_eq!(MihIndex::auto_chunks(512, usize::MAX), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "64-bit")]
+    fn too_few_chunks_for_wide_codes_panics() {
+        MihIndex::new(512, 5); // 103-bit chunks cannot key a u64
+    }
+
+    #[test]
+    fn probe_estimate_matches_pigeonhole_budget() {
+        let idx = MihIndex::new(64, 4); // 16-bit chunks
+        // h=3, m=4: r=0, a=3 → all four chunks at radius 0 → 4 probes.
+        assert_eq!(idx.probe_estimate(3), 4);
+        // h=4: r=1, a=0 → chunk 0 at radius 1 (17), chunks 1..4 at 0 (1).
+        assert_eq!(idx.probe_estimate(4), 17 + 3);
+        // h=0: a single exact probe on chunk 0.
+        assert_eq!(idx.probe_estimate(0), 1);
+    }
+
+    #[test]
+    fn search_matches_oracle_across_regimes() {
+        for (code_len, n, clustered) in
+            [(32usize, 400usize, true), (64, 400, false), (128, 200, true), (512, 120, false)]
+        {
+            let data = if clustered {
+                clustered_dataset(n, code_len, 4, 3, 77)
+            } else {
+                random_dataset(n, code_len, 77)
+            };
+            let idx = MihIndex::build(code_len, data.clone());
+            assert_eq!(idx.len(), n);
+            let mut rng = StdRng::seed_from_u64(123);
+            for trial in 0..4 {
+                let q = if trial % 2 == 0 {
+                    data[trial * 7 % n].0.clone()
+                } else {
+                    BinaryCode::random(code_len, &mut rng)
+                };
+                for h in [0u32, 1, 3, 8, code_len as u32] {
+                    assert_matches_oracle(
+                        idx.search(&q, h),
+                        &data,
+                        &q,
+                        h,
+                        &format!("bits={code_len} trial={trial}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_fallback_engages_and_agrees() {
+        let data = random_dataset(60, 32, 5);
+        let idx = MihIndex::build(32, data.clone());
+        let h = 30; // probe estimate dwarfs 60 rows
+        assert!(idx.would_scan(h));
+        let q = BinaryCode::random(32, &mut StdRng::seed_from_u64(6));
+        assert_eq!(idx.search_with_distances(&q, h), idx.scan_with_distances(&q, h));
+        assert_matches_oracle(idx.search(&q, h), &data, &q, h, "fallback");
+    }
+
+    #[test]
+    fn delete_then_insert_round_trips() {
+        let data = random_dataset(80, 64, 9);
+        let mut idx = MihIndex::build(64, data.clone());
+        let (code, id) = data[17].clone();
+        assert!(idx.delete(&code, id));
+        assert!(!idx.delete(&code, id), "double delete must fail");
+        assert_eq!(idx.len(), 79);
+        assert!(!idx.search(&code, 0).contains(&id));
+        idx.insert(code.clone(), id);
+        assert_eq!(idx.len(), 80);
+        assert!(idx.search(&code, 0).contains(&id));
+        // Deleting an absent code whose chunk-0 bucket doesn't exist.
+        let absent = BinaryCode::random(64, &mut StdRng::seed_from_u64(1));
+        let _ = idx.delete(&absent, 999_999);
+    }
+
+    #[test]
+    fn duplicate_codes_under_distinct_ids_coexist() {
+        let code = BinaryCode::from_u64(42, 32);
+        let mut idx = MihIndex::new(32, 4);
+        idx.insert(code.clone(), 1);
+        idx.insert(code.clone(), 2);
+        assert_eq!(idx.search(&code, 0), vec![1, 2]);
+        assert!(idx.delete(&code, 1));
+        assert_eq!(idx.search(&code, 0), vec![2]);
+    }
+
+    #[test]
+    fn results_are_id_sorted_regardless_of_path() {
+        let data = clustered_dataset(300, 64, 3, 2, 31);
+        let idx = MihIndex::build(64, data.clone());
+        let q = data[5].0.clone();
+        for h in [2u32, 6, 40] {
+            let got = idx.search(&q, h);
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            assert_eq!(got, sorted, "h={h}: canonical id order");
+        }
+    }
+
+    #[test]
+    fn memory_report_counts_all_arenas() {
+        let idx = MihIndex::build(128, random_dataset(200, 128, 3));
+        let r = idx.memory_report();
+        assert!(r.code_bytes >= 200 * 16, "flat rows: 2 words per code");
+        assert!(r.structure_bytes > 0 && r.payload_bytes > 0);
+        assert_eq!(idx.memory_bytes(), r.total());
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let idx = MihIndex::new(64, 4);
+        assert!(idx.is_empty());
+        let q = BinaryCode::from_u64(1, 64);
+        assert!(idx.search(&q, 64).is_empty());
+        assert!(idx.batch_search(&[q], 3)[0].is_empty());
+    }
+}

@@ -12,6 +12,7 @@
 
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
+use ha_core::planner::{PlanConfig, PlannedIndex};
 use ha_core::{HammingIndex, TupleId};
 use ha_mapreduce::{run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics};
 
@@ -74,6 +75,7 @@ pub fn try_mrha_batch_select(
     let partitioner = &pre.partitioner;
     let dha = cfg.dha.clone();
     let h = cfg.h;
+    let code_len = cfg.code_len;
     let config = crate::job_config("mrha-batch-select", cfg.workers, cfg.partitions);
     let result = run_job_with_faults(
         &config,
@@ -85,13 +87,30 @@ pub fn try_mrha_batch_select(
         },
         |&part, n| (part as usize).min(n - 1),
         |_part, tuples, out: &mut Vec<(u32, TupleId)>| {
-            let mut local = DynamicHaIndex::build_with(tuples, dha.clone());
             // Each reducer answers the whole query batch off one build;
-            // freezing up front amortises the snapshot over all probes.
-            local.freeze();
-            for (qi, q) in shared_queries.iter().enumerate() {
-                for id in local.search(q, h) {
-                    out.push((qi as u32, id));
+            // the planned index freezes the flat snapshot up front and
+            // routes every probe (flat vs MIH vs arena vs scan) by the
+            // fitted cost model. A leafless config cannot answer with ids
+            // at all, so that mode keeps the plain local HA-Index.
+            if dha.keep_leaf_ids {
+                let plan = PlanConfig {
+                    dha: dha.clone(),
+                    mih_chunks: None,
+                    model: ha_core::CostModel::default(),
+                };
+                let local = PlannedIndex::build_with(code_len, tuples, plan);
+                for (qi, q) in shared_queries.iter().enumerate() {
+                    for id in local.search(q, h) {
+                        out.push((qi as u32, id));
+                    }
+                }
+            } else {
+                let mut local = DynamicHaIndex::build_with(tuples, dha.clone());
+                local.freeze();
+                for (qi, q) in shared_queries.iter().enumerate() {
+                    for id in local.search(q, h) {
+                        out.push((qi as u32, id));
+                    }
                 }
             }
         },

@@ -9,10 +9,16 @@
 //!   storage of leaf nodes would dominate — so H-Search returns the
 //!   qualifying R *codes*, and a follow-up MapReduce hash-join (the
 //!   paper's reference \[23\]) resolves codes back to R tuple ids.
+//!
+//! Either way the shipped copy is frozen before broadcast and every
+//! reducer probe routes through the adaptive query planner
+//! ([`DhaRouter`]), which picks the flat snapshot or the arena BFS per
+//! `(n, h, clusteredness)` from the fitted cost model.
 
 use ha_bitcode::BinaryCode;
 use ha_core::dynamic::DynamicHaIndex;
-use ha_core::{HammingIndex, TupleId};
+use ha_core::planner::DhaRouter;
+use ha_core::{CostModel, TupleId};
 use ha_mapreduce::{
     run_job_with_faults, DistributedCache, FaultInjector, JobError, JobMetrics, ShuffleBytes,
 };
@@ -77,8 +83,14 @@ pub fn try_join_option_a(
     partitions: usize,
     faults: &FaultInjector,
 ) -> Result<JoinPhase, JobError> {
+    // Freeze the shipped copy before broadcast (the clone is what
+    // travels; the caller's index is untouched): workers then hold both
+    // the flat snapshot and the arena, and the query planner routes each
+    // probe to whichever the fitted cost model says is cheaper here.
+    let mut shipped = index.clone();
+    shipped.freeze();
     let cache = DistributedCache::broadcast_sized(
-        index.clone(),
+        shipped,
         partitions,
         index_broadcast_bytes(index, true),
     );
@@ -87,6 +99,7 @@ pub fn try_join_option_a(
     let config = crate::job_config("mrha-join-A", workers, partitions);
 
     let shared = cache.get();
+    let router = DhaRouter::new(shared.as_ref(), CostModel::default());
     let result = run_job_with_faults(
         &config,
         s,
@@ -98,7 +111,7 @@ pub fn try_join_option_a(
         |&part, n| (part as usize).min(n - 1),
         |_part, tuples: Vec<(BinaryCode, TupleId)>, out: &mut Vec<(TupleId, TupleId)>| {
             for (code, sid) in tuples {
-                for rid in shared.search(&code, h) {
+                for rid in router.search(&code, h) {
                     out.push((rid, sid));
                 }
             }
@@ -143,8 +156,12 @@ pub fn try_join_option_b(
     partitions: usize,
     faults: &FaultInjector,
 ) -> Result<JoinPhase, JobError> {
+    // As in Option A: ship a frozen clone so reducers can route probes
+    // between the flat snapshot and the arena BFS.
+    let mut shipped = index.clone();
+    shipped.freeze();
     let cache = DistributedCache::broadcast_sized(
-        index.clone(),
+        shipped,
         partitions,
         index_broadcast_bytes(index, false),
     );
@@ -154,6 +171,7 @@ pub fn try_join_option_b(
 
     // Job 1: probe — emits (qualifying R code, s id).
     let shared = cache.get();
+    let router = DhaRouter::new(shared.as_ref(), CostModel::default());
     let probe = run_job_with_faults(
         &config,
         s,
@@ -165,7 +183,7 @@ pub fn try_join_option_b(
         |&part, n| (part as usize).min(n - 1),
         |_part, tuples: Vec<(BinaryCode, TupleId)>, out: &mut Vec<(BinaryCode, TupleId)>| {
             for (code, sid) in tuples {
-                for (r_code, _dist) in shared.search_codes(&code, h) {
+                for (r_code, _dist) in router.search_codes(&code, h) {
                     out.push((r_code, sid));
                 }
             }

@@ -35,7 +35,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ha_bitcode::BinaryCode;
-use ha_core::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
+use ha_core::planner::{PlanConfig, PlannedIndex};
+use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
 use ha_mapreduce::checksum::fnv64;
 use ha_mapreduce::InMemoryDfs;
 use parking_lot::{Mutex, RwLock};
@@ -65,6 +66,11 @@ pub struct ServeConfig {
     /// HA-Index construction parameters for the shards. `keep_leaf_ids`
     /// must stay `true` — the service answers with tuple ids.
     pub dha: DhaConfig,
+    /// Cost model the per-shard query planner routes with (HA-Flat vs
+    /// MIH vs arena vs scan). The default carries the constants fitted by
+    /// the `planner` experiment; routing only affects latency, never
+    /// answers.
+    pub model: CostModel,
     /// Seed for the deterministic shard probe rotation (spreads which
     /// shard is probed first across batches).
     pub seed: u64,
@@ -79,6 +85,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             cache_capacity: 4096,
             dha: DhaConfig::default(),
+            model: CostModel::default(),
             seed: 0,
         }
     }
@@ -225,7 +232,7 @@ impl MetricsState {
 
 struct Inner {
     code_len: usize,
-    shards: Vec<RwLock<DynamicHaIndex>>,
+    shards: Vec<RwLock<PlannedIndex>>,
     /// Global mutation epoch. Bumped while holding the mutated shard's
     /// write lock, so a reader holding *all* shard read locks observes a
     /// frozen epoch — the invariant the result cache's exactness rests
@@ -299,18 +306,19 @@ impl HaServe {
             }
             parts[owner(&code, nshards)].push((code, id));
         }
-        let shards: Vec<RwLock<DynamicHaIndex>> = parts
+        let shards: Vec<RwLock<PlannedIndex>> = parts
             .into_iter()
             .map(|p| {
-                let mut idx = if p.is_empty() {
-                    DynamicHaIndex::empty(code_len, cfg.dha.clone())
-                } else {
-                    DynamicHaIndex::build_with(p, cfg.dha.clone())
+                // Each shard owns every backend (frozen flat snapshot +
+                // MIH chunk tables) behind the adaptive planner; mutations
+                // re-freeze under the shard's write lock, so reads always
+                // have the full backend menu available.
+                let plan = PlanConfig {
+                    dha: cfg.dha.clone(),
+                    mih_chunks: None,
+                    model: cfg.model.clone(),
                 };
-                // Serve reads off the frozen CSR/SoA snapshot; mutations
-                // re-freeze under the shard's write lock.
-                idx.freeze();
-                RwLock::new(idx)
+                RwLock::new(PlannedIndex::build_with(code_len, p, plan))
             })
             .collect();
 

@@ -32,9 +32,11 @@ run cargo test -q --test serve_concurrency
 run cargo test -q --test observability
 run cargo test -q --test panic_audit
 run cargo test -q --test flat_equivalence
+run cargo test -q --test mih_equivalence
+run cargo test -q --test planner_decisions
 
 # Compile-only smoke over the criterion benches: keeps the bench
-# harnesses (including flat_search) building without paying for a
+# harnesses (including flat_search and mih_search) building without paying for a
 # measured run in CI.
 run cargo bench --no-run -q -p ha-bench
 

@@ -1,0 +1,260 @@
+//! The MIH backend must be invisible: for ANY dataset (clustered or
+//! sparse, 32- to 512-bit codes), ANY threshold — including thresholds
+//! far past where pigeonhole schemes like Manku's go incomplete — and ANY
+//! interleaving of inserts and deletes, [`MihIndex`] answers every
+//! select, batch and kNN query with exactly the ids the linear-scan
+//! oracle produces, byte-identical (after canonical `(distance, id)` /
+//! id ordering) to the frozen HA-Flat snapshot maintained over the same
+//! history. This is the `flat_equivalence.rs` pattern pointed at the
+//! second exact backend, and it is what lets the query planner route
+//! freely: any backend, same bytes.
+
+use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::index::testkit::assert_matches_oracle;
+use hamming_suite::index::{
+    DhaConfig, DynamicHaIndex, HammingIndex, MihIndex, MutableIndex, TupleId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The code widths of the benchmark grid: one and two words, the inline
+/// maximum, and the wide GIST-style regime MIH exists for.
+const BITS: [usize; 4] = [32, 64, 128, 512];
+
+/// Clustered (4 centers + noise) or sparse (uniform) dataset.
+fn dataset(
+    rng: &mut StdRng,
+    n: usize,
+    code_len: usize,
+    clustered: bool,
+) -> Vec<(BinaryCode, TupleId)> {
+    let centers: Vec<BinaryCode> = (0..4).map(|_| BinaryCode::random(code_len, rng)).collect();
+    (0..n as TupleId)
+        .map(|id| {
+            let code = if clustered && rng.gen_bool(0.7) {
+                let mut c = centers[rng.gen_range(0..centers.len())].clone();
+                for _ in 0..rng.gen_range(0..4) {
+                    c.flip(rng.gen_range(0..code_len));
+                }
+                c
+            } else {
+                BinaryCode::random(code_len, rng)
+            };
+            (code, id)
+        })
+        .collect()
+}
+
+fn sorted(mut ids: Vec<TupleId>) -> Vec<TupleId> {
+    ids.sort_unstable();
+    ids
+}
+
+/// kNN by doubling-radius over any `search_with_distances`-shaped closure
+/// — applied identically to MIH and HA-Flat so result *order* divergence
+/// is caught by the byte-compare.
+fn knn(
+    code_len: usize,
+    k: usize,
+    q: &BinaryCode,
+    search: impl Fn(&BinaryCode, u32) -> Vec<(TupleId, u32)>,
+) -> Vec<(TupleId, u32)> {
+    let max_h = code_len as u32;
+    let mut h = 1u32;
+    loop {
+        let mut hits = search(q, h);
+        if hits.len() >= k || h >= max_h {
+            hits.sort_unstable_by_key(|&(id, d)| (d, id));
+            hits.truncate(k);
+            return hits;
+        }
+        h = (h * 2).min(max_h);
+    }
+}
+
+/// Replays the same mutation steps (biased 2:1 insert:delete, half the
+/// inserts near-duplicates) on the MIH index AND the HA-Index, mirroring
+/// them into `live` so the oracle stays in sync.
+fn churn(
+    mih: &mut MihIndex,
+    dha: &mut DynamicHaIndex,
+    live: &mut Vec<(BinaryCode, TupleId)>,
+    ops: usize,
+    code_len: usize,
+    rng: &mut StdRng,
+    next_id: &mut TupleId,
+) {
+    for _ in 0..ops {
+        if rng.gen_bool(0.33) && !live.is_empty() {
+            let pos = rng.gen_range(0..live.len());
+            let (code, id) = live.swap_remove(pos);
+            assert!(mih.delete(&code, id), "MIH delete of a live tuple");
+            assert!(dha.delete(&code, id), "DHA delete of a live tuple");
+        } else {
+            let code = if !live.is_empty() && rng.gen_bool(0.5) {
+                let mut c = live[rng.gen_range(0..live.len())].0.clone();
+                c.flip(rng.gen_range(0..code_len));
+                c
+            } else {
+                BinaryCode::random(code_len, rng)
+            };
+            mih.insert(code.clone(), *next_id);
+            dha.insert(code.clone(), *next_id);
+            live.push((code, *next_id));
+            *next_id += 1;
+        }
+    }
+}
+
+/// Select + batch + kNN: MIH ≡ frozen HA-Flat (canonical order) ≡ oracle.
+fn assert_backends_agree(
+    mih: &MihIndex,
+    frozen: &DynamicHaIndex,
+    live: &[(BinaryCode, TupleId)],
+    queries: &[BinaryCode],
+    radii: &[u32],
+    ctx: &str,
+) {
+    let code_len = mih.code_len();
+    for q in queries {
+        for &h in radii {
+            let m = mih.search(q, h);
+            let f = sorted(frozen.search(q, h));
+            assert_eq!(m, f, "{ctx}: select h={h} MIH vs HA-Flat");
+            assert_matches_oracle(m, live, q, h, &format!("{ctx} mih h={h}"));
+        }
+    }
+    if let Some(&h) = radii.iter().max() {
+        let batch = mih.batch_search(queries, h);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &mih.search(q, h), "{ctx}: batch ≡ solo");
+        }
+    }
+    for (i, q) in queries.iter().enumerate() {
+        for k in [1usize, 3, 16] {
+            let via_mih = knn(code_len, k, q, |q, h| mih.search_with_distances(q, h));
+            let via_flat = knn(code_len, k, q, |q, h| frozen.search_with_distances(q, h));
+            assert_eq!(via_mih, via_flat, "{ctx}: kNN q={i} k={k}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary build → churn histories over every code width: after
+    /// every burst of mutations MIH answers exactly like the refrozen
+    /// HA-Flat snapshot and the linear-scan oracle, at arbitrary
+    /// thresholds (including past the code width).
+    #[test]
+    fn mih_equals_flat_and_oracle_under_arbitrary_histories(
+        seed in any::<u64>(),
+        bits_sel in 0usize..4,
+        initial in 0usize..90,
+        bursts in 1usize..3,
+        ops_per_burst in 1usize..30,
+        clustered in any::<bool>(),
+        h_arbitrary in 0u32..600,
+    ) {
+        let code_len = BITS[bits_sel];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live = dataset(&mut rng, initial, code_len, clustered);
+        let mut mih = MihIndex::build(code_len, live.clone());
+        let mut dha = DynamicHaIndex::build_with(
+            live.clone(),
+            DhaConfig { insert_buffer_cap: 8, ..DhaConfig::default() },
+        );
+        if live.is_empty() {
+            // Build on empty input leaves the DHA with no code length;
+            // seed one tuple through the mutable path instead.
+            let c = BinaryCode::random(code_len, &mut rng);
+            mih.insert(c.clone(), 50_000);
+            dha = DynamicHaIndex::build(std::iter::once((c.clone(), 50_000)));
+            live.push((c, 50_000));
+        }
+        let mut next_id: TupleId = 100_000;
+        let radii = [0, 1, 3, 6, h_arbitrary.min(code_len as u32 + 8)];
+        for burst in 0..bursts {
+            churn(&mut mih, &mut dha, &mut live, ops_per_burst, code_len, &mut rng, &mut next_id);
+            dha.freeze();
+            prop_assert!(dha.flat_is_current());
+            prop_assert_eq!(mih.len(), dha.len(), "len after burst {}", burst);
+            let queries: Vec<BinaryCode> = (0..3)
+                .map(|_| {
+                    if !live.is_empty() && rng.gen_bool(0.6) {
+                        let mut q = live[rng.gen_range(0..live.len())].0.clone();
+                        q.flip(rng.gen_range(0..code_len));
+                        q
+                    } else {
+                        BinaryCode::random(code_len, &mut rng)
+                    }
+                })
+                .collect();
+            assert_backends_agree(
+                &mih, &dha, &live, &queries, &radii,
+                &format!("seed={seed} bits={code_len} burst={burst}"),
+            );
+        }
+    }
+
+    /// Every explicit chunk count a width admits (not just the
+    /// auto-tuned one) answers identically: the pigeonhole budget
+    /// `⌊h/m⌋` + remainder distribution is exact for all m.
+    #[test]
+    fn every_chunk_count_is_exact(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        chunks in 1usize..12,
+        h in 0u32..40,
+    ) {
+        let code_len = 64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let live = dataset(&mut rng, n, code_len, true);
+        let mut mih = MihIndex::new(code_len, chunks.min(code_len));
+        for (c, id) in &live {
+            mih.insert(c.clone(), *id);
+        }
+        let q = BinaryCode::random(code_len, &mut rng);
+        assert_matches_oracle(
+            mih.search(&q, h), &live, &q, h,
+            &format!("m={chunks} h={h}"),
+        );
+    }
+}
+
+/// Draining an index and refilling it keeps answers exact — tombstoned
+/// rows must never resurface through any chunk table.
+#[test]
+fn drain_and_refill_round_trips() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let live = dataset(&mut rng, 40, 32, false);
+    let mut mih = MihIndex::build(32, live.clone());
+    for (code, id) in &live {
+        assert!(mih.delete(code, *id));
+    }
+    assert_eq!(mih.len(), 0);
+    let q = BinaryCode::random(32, &mut rng);
+    assert!(mih.search(&q, 32).is_empty(), "drained index must answer empty");
+    mih.insert(live[0].0.clone(), live[0].1);
+    assert_eq!(mih.search(&live[0].0, 0), vec![live[0].1]);
+}
+
+/// 512-bit wide-code spot check with an explicit small chunk count (the
+/// configuration the historical ≤64-bit segment limit rejected): eight
+/// 64-bit chunks, all thresholds, including one past every chunk budget.
+#[test]
+fn wide_codes_with_word_width_chunks_are_exact() {
+    let mut rng = StdRng::seed_from_u64(512);
+    let live = dataset(&mut rng, 150, 512, false);
+    let mut mih = MihIndex::new(512, 8);
+    for (c, id) in &live {
+        mih.insert(c.clone(), *id);
+    }
+    let mut dha = DynamicHaIndex::build(live.clone());
+    dha.freeze();
+    let queries: Vec<BinaryCode> = live.iter().take(2).map(|(c, _)| c.clone()).collect();
+    assert_backends_agree(&mih, &dha, &live, &queries, &[0, 3, 6, 40, 300], "512/8");
+    assert!(mih.would_scan(300), "h=300 must take the scan fallback");
+    assert!(!mih.would_scan(0));
+}
