@@ -8,6 +8,7 @@
 //! approaches the paper's full workloads.
 
 pub mod exp;
+pub mod open_loop;
 pub mod report;
 pub mod serve_load;
 

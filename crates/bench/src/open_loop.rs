@@ -1,0 +1,276 @@
+//! A deterministic **open-loop** load generator for the HA-Serve layer.
+//!
+//! Unlike [`closed_loop`](crate::serve_load::closed_loop) — where each
+//! client waits for its answer before issuing the next request, so the
+//! offered load self-throttles to whatever the service sustains — the
+//! open loop dispatches requests on a **Poisson arrival process** at a
+//! fixed target rate regardless of how the service is doing. That is the
+//! honest way to measure tail latency and overload behaviour: a closed
+//! loop *hides* queueing (coordinated omission), an open loop charges
+//! every microsecond a request spends queued to that request's latency.
+//!
+//! Arrivals are seeded: inter-arrival gaps are `Exp(rate)` drawn from a
+//! `StdRng`, so the offered schedule is identical run to run. A
+//! dispatcher thread submits tickets at the scheduled instants (never
+//! retrying — an open loop drops rejected arrivals and counts them) and
+//! a pool of waiter threads collects answers, recording each request's
+//! submit-to-answer latency. Requests may carry a deadline
+//! ([`OpenLoopConfig::deadline`]); answers that come back
+//! `DeadlineExceeded` are counted as shed, not answered.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ha_bitcode::BinaryCode;
+use ha_service::{HaServe, SelectTicket, ServiceError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Target arrival rate (requests per second) of the Poisson process.
+    pub rate_per_sec: f64,
+    /// Total arrivals to dispatch.
+    pub total_ops: usize,
+    /// Hamming radius of every select.
+    pub radius: u32,
+    /// Seed of the arrival schedule and query choice.
+    pub seed: u64,
+    /// Per-request latency budget; `None` disables deadline shedding.
+    pub deadline: Option<Duration>,
+    /// Waiter threads collecting answers (bounds how many outstanding
+    /// answers can be reaped concurrently).
+    pub waiters: usize,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate_per_sec: 5_000.0,
+            total_ops: 2_000,
+            radius: 3,
+            seed: 0,
+            deadline: None,
+            waiters: 8,
+        }
+    }
+}
+
+/// What an open-loop run observed, measured at the generator.
+#[derive(Clone, Debug, Default)]
+pub struct OpenLoopReport {
+    /// Requests answered with ids.
+    pub answered: usize,
+    /// Requests shed by the service (deadline expired while queued).
+    pub shed: usize,
+    /// Arrivals rejected at admission (queue full) — dropped, not retried.
+    pub rejected: usize,
+    /// Submit-to-answer latency of every answered request, sorted
+    /// ascending.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock from first dispatch to last answer.
+    pub elapsed: Duration,
+}
+
+impl OpenLoopReport {
+    /// The `q`-quantile (0.0..=1.0) of answered-request latency;
+    /// `Duration::ZERO` when nothing was answered.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
+    /// Answered requests per second of run wall-clock.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.answered as f64 / secs
+        }
+    }
+}
+
+/// One dispatched request in flight: its ticket and submit instant.
+struct InFlight {
+    ticket: SelectTicket,
+    submitted: Instant,
+}
+
+/// Runs the open loop against `serve`, drawing queries from `pool`.
+///
+/// # Panics
+/// If `pool` is empty, or an answer fails for a reason other than
+/// [`ServiceError::DeadlineExceeded`] (the generator is harness code — a
+/// mid-run shutdown is a bug, not a condition to handle).
+pub fn open_loop(serve: &HaServe, pool: &[BinaryCode], cfg: &OpenLoopConfig) -> OpenLoopReport {
+    assert!(!pool.is_empty(), "query pool is empty");
+    let (tx, rx) = mpsc::channel::<InFlight>();
+    let rx = Mutex::new(rx);
+    let started = Instant::now();
+    let mut rejected = 0usize;
+    let mut waiter_results: Vec<(Vec<Duration>, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let rx = &rx;
+        let waiters: Vec<_> = (0..cfg.waiters.max(1))
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut shed = 0usize;
+                    loop {
+                        // Holding the receiver lock only to dequeue keeps
+                        // waiters reaping concurrently.
+                        let next = {
+                            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        let Ok(inflight) = next else { break };
+                        match inflight.ticket.wait() {
+                            Ok(_ids) => latencies.push(inflight.submitted.elapsed()),
+                            Err(ServiceError::DeadlineExceeded) => shed += 1,
+                            Err(e) => panic!("open-loop answer failed mid-run: {e}"),
+                        }
+                    }
+                    (latencies, shed)
+                })
+            })
+            .collect();
+
+        // The dispatcher: pace the seeded Poisson schedule, submitting at
+        // (or as close as the clock allows to) each scheduled instant.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut next_at = Instant::now();
+        for _ in 0..cfg.total_ops {
+            // Exp(rate) inter-arrival gap; the `1 - u` guards ln(0).
+            let u: f64 = rng.gen();
+            let gap = -(1.0 - u).ln() / cfg.rate_per_sec.max(1e-9);
+            next_at += Duration::from_secs_f64(gap);
+            let now = Instant::now();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+            let q = &pool[rng.gen_range(0..pool.len())];
+            let submitted = Instant::now();
+            let result = match cfg.deadline {
+                Some(budget) => serve.submit_select_with_deadline(q, cfg.radius, budget),
+                None => serve.submit_select(q, cfg.radius),
+            };
+            match result {
+                Ok(ticket) => {
+                    let _ = tx.send(InFlight { ticket, submitted });
+                }
+                Err(ServiceError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("open-loop submit failed mid-run: {e}"),
+            }
+        }
+        drop(tx); // waiters drain the channel, then exit
+        for w in waiters {
+            match w.join() {
+                Ok(pair) => waiter_results.push(pair),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    let mut latencies: Vec<Duration> = waiter_results
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    OpenLoopReport {
+        answered: latencies.len(),
+        shed: waiter_results.iter().map(|&(_, s)| s).sum(),
+        rejected,
+        latencies,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ha_core::TupleId;
+    use ha_service::ServeConfig;
+
+    fn serve(n: usize) -> (HaServe, Vec<BinaryCode>) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data: Vec<(BinaryCode, TupleId)> = (0..n)
+            .map(|i| (BinaryCode::random(24, &mut rng), i as TupleId))
+            .collect();
+        let pool: Vec<BinaryCode> = data.iter().take(16).map(|(c, _)| c.clone()).collect();
+        let cfg = ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        (HaServe::build(24, data, cfg).unwrap(), pool)
+    }
+
+    #[test]
+    fn every_arrival_is_accounted_for() {
+        let (serve, pool) = serve(300);
+        let cfg = OpenLoopConfig {
+            rate_per_sec: 20_000.0,
+            total_ops: 400,
+            radius: 2,
+            seed: 5,
+            deadline: None,
+            waiters: 4,
+        };
+        let report = open_loop(&serve, &pool, &cfg);
+        assert_eq!(report.answered + report.shed + report.rejected, 400);
+        assert_eq!(report.shed, 0, "no deadlines were set");
+        assert_eq!(report.latencies.len(), report.answered);
+        assert!(report.p50() <= report.p99());
+        assert!(report.p99() <= report.p999());
+        assert_eq!(serve.metrics().selects, report.answered as u64);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_under_manual_drive() {
+        // With no workers, submissions just queue; an already-expired
+        // deadline means the eventual pump sheds everything.
+        let mut rng = StdRng::seed_from_u64(19);
+        let data: Vec<(BinaryCode, TupleId)> = (0..50)
+            .map(|i| (BinaryCode::random(24, &mut rng), i as TupleId))
+            .collect();
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(24, data.clone(), cfg).unwrap();
+        let q = data[0].0.clone();
+        let t = serve
+            .submit_select_with_deadline(&q, 2, Duration::ZERO)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        serve.pump_all();
+        assert_eq!(t.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        assert_eq!(serve.metrics().deadline_shed, 1);
+    }
+
+    #[test]
+    fn quantiles_of_empty_report_are_zero() {
+        let r = OpenLoopReport::default();
+        assert_eq!(r.p50(), Duration::ZERO);
+        assert_eq!(r.throughput(), 0.0);
+    }
+}

@@ -397,6 +397,28 @@ impl DynamicHaIndex {
             .chain(self.buffer.iter().map(|(code, _)| code))
     }
 
+    /// Every tuple id stored at exactly `code`: the leaf's id list (with
+    /// multiplicity) plus any buffered, not-yet-flushed inserts of that
+    /// code. Empty when the code is absent or the index is leafless. The
+    /// generational serving layer uses this for tombstone-aware reads: a
+    /// delta overlay subtracts deleted `(code, id)` pairs from the frozen
+    /// base at exact pair granularity.
+    pub fn ids_for_code(&self, code: &BinaryCode) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self
+            .leaves
+            .get(code)
+            .and_then(|&leaf| self.nodes[leaf as usize].leaf.as_ref())
+            .map(|l| l.ids.clone())
+            .unwrap_or_default();
+        ids.extend(
+            self.buffer
+                .iter()
+                .filter(|(c, _)| c == code)
+                .map(|&(_, id)| id),
+        );
+        ids
+    }
+
     /// Number of dead (`!alive`) slots lingering in the arena — what the
     /// next [`DynamicHaIndex::freeze`] will compact away.
     pub fn dead_slots(&self) -> usize {

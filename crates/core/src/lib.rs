@@ -30,6 +30,7 @@
 //! HmSearch) are complete only below a threshold fixed at construction,
 //! which is the sensitivity the paper criticises them for.
 
+pub mod delta;
 pub mod dynamic;
 mod hengine;
 mod hmsearch;
@@ -43,6 +44,7 @@ pub mod select;
 mod static_ha;
 pub mod testkit;
 
+pub use delta::{DeltaIndex, DeltaOp};
 pub use dynamic::{DhaConfig, DynamicHaIndex, FlatHaIndex};
 pub use hengine::HEngine;
 pub use hmsearch::HmSearch;

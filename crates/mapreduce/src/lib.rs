@@ -75,6 +75,7 @@ pub mod job;
 pub mod metrics;
 mod shuffle;
 pub mod storage_fault;
+pub mod wal;
 
 pub use cache::DistributedCache;
 pub use checksum::{Checksum, Fnv64};
@@ -87,3 +88,4 @@ pub use job::{
 pub use metrics::{DfsMetrics, JobMetrics, TaskMetrics};
 pub use shuffle::ShuffleBytes;
 pub use storage_fault::{StorageFault, StorageFaultEvent, StorageFaultPlan};
+pub use wal::{DfsWal, WalError};

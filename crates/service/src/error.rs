@@ -35,6 +35,14 @@ pub enum ServiceError {
     /// The index blob was read but failed wire-format decoding (bad
     /// magic, truncation, checksum mismatch, or structural corruption).
     Decode(DecodeError),
+    /// The request's deadline expired before a worker reached it; the
+    /// work was shed at dequeue instead of executed. The answer would
+    /// have arrived too late to be useful, so no search was run.
+    DeadlineExceeded,
+    /// A planned crash fault (see `MergeFaultPlan`) killed the process
+    /// at this operation — the deterministic stand-in for `kill -9` that
+    /// the recovery tests use. Only injected faults produce this.
+    CrashInjected,
 }
 
 impl fmt::Display for ServiceError {
@@ -52,6 +60,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Storage(e) => write!(f, "index load failed: {e}"),
             ServiceError::Decode(e) => write!(f, "index blob rejected: {e}"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: request shed before execution")
+            }
+            ServiceError::CrashInjected => {
+                write!(f, "injected crash: service killed by fault plan")
+            }
         }
     }
 }
@@ -92,6 +106,14 @@ mod tests {
         let e: ServiceError = DecodeError::BadMagic.into();
         assert!(matches!(e, ServiceError::Decode(DecodeError::BadMagic)));
         assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn deadline_and_crash_variants_display() {
+        assert!(ServiceError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServiceError::CrashInjected.to_string().contains("crash"));
+        use std::error::Error;
+        assert!(ServiceError::DeadlineExceeded.source().is_none());
     }
 
     #[test]

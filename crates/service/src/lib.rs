@@ -21,10 +21,25 @@
 //!   are only served at the exact epoch they were computed at, so hits
 //!   are provably identical to re-running the search.
 //!
+//! Since the generational-serving rework, each shard is an immutable,
+//! atomically-swapped **generation** (a frozen `PlannedIndex`) plus a
+//! small mutable **delta** searched alongside it: mutations are O(delta)
+//! instead of a full shard re-freeze, a background freeze/merge worker
+//! absorbs the delta into the next generation off-lock, and — in durable
+//! mode ([`HaServe::bootstrap_durable`] / [`HaServe::recover`]) — every
+//! mutation is appended to a checksummed write-ahead log on the DFS
+//! *before* it is acknowledged, so a killed process recovers to exactly
+//! the acknowledged state. Requests may carry **deadlines**
+//! ([`HaServe::submit_select_with_deadline`]): expired work is shed at
+//! dequeue with [`ServiceError::DeadlineExceeded`] instead of executed.
+//! Chaos tests script merge panics, delayed publishes, and crashes
+//! around the WAL append through [`MergeFaultPlan`].
+//!
 //! [`ServeMetrics`] exposes what happened — throughput, batch-size
-//! distribution, cache hits/misses/evictions, admission rejections, and
-//! per-shard latency histograms — in the style of the MapReduce layer's
-//! `JobMetrics`.
+//! distribution, cache hits/misses/evictions, admission rejections,
+//! deadline sheds, WAL appends/replays, merge attempts/panics/publishes,
+//! and per-shard latency histograms — in the style of the MapReduce
+//! layer's `JobMetrics`.
 //!
 //! # Example
 //!
@@ -49,10 +64,12 @@
 
 mod cache;
 mod error;
+mod fault;
 mod metrics;
 mod service;
 
 pub use cache::ResultCache;
 pub use error::ServiceError;
+pub use fault::{CrashPoint, MergeFault, MergeFaultEvent, MergeFaultPlan};
 pub use metrics::{LatencyHistogram, ServeMetrics, ShardMetrics};
 pub use service::{HaServe, KnnTicket, SelectTicket, ServeConfig};

@@ -22,6 +22,16 @@ pub struct ShardMetrics {
     pub items: usize,
     /// Latency of this shard's batch probes.
     pub latency: LatencyHistogram,
+    /// Generation number currently published (0 = the build-time
+    /// generation; each background merge publishes the next).
+    pub generation: u64,
+    /// Mutations pending in the shard's delta overlay — the
+    /// generation-lag gauge the merge worker drains.
+    pub delta_ops: usize,
+    /// True when the merge worker exhausted its retries on this shard
+    /// and the shard degraded to delta-only serving (reads stay exact;
+    /// the delta just stops being absorbed).
+    pub merge_poisoned: bool,
 }
 
 /// A point-in-time snapshot of everything the service has done, returned
@@ -46,6 +56,24 @@ pub struct ServeMetrics {
     pub cache_evictions: u64,
     /// Requests refused by admission control (queue full).
     pub rejected: u64,
+    /// Requests shed at dequeue because their deadline had already
+    /// expired (answered with `ServiceError::DeadlineExceeded`, never
+    /// executed, not counted as selects/knns).
+    pub deadline_shed: u64,
+    /// Mutation records appended to the write-ahead log (durable mode
+    /// only; 0 when serving from memory).
+    pub wal_appends: u64,
+    /// WAL records replayed onto deltas during recovery.
+    pub wal_replayed: u64,
+    /// Merge attempts started by the freeze/merge worker (retries after
+    /// an injected panic count separately).
+    pub merge_attempts: u64,
+    /// Merge attempts that panicked and were contained by the worker's
+    /// panic isolation.
+    pub merge_panics: u64,
+    /// Generations successfully published (delta absorbed, snapshot
+    /// swapped, WAL truncated).
+    pub merges_completed: u64,
     /// Micro-batches that actually executed a shard probe (fully
     /// cache-answered groups form no batch).
     pub batches_formed: u64,

@@ -1,48 +1,78 @@
-//! HA-Serve: the concurrent, sharded query service.
+//! HA-Serve: the concurrent, sharded, *generational* query service.
 //!
 //! The global HA-Index (built offline by the MapReduce pipeline and
 //! persisted through the replicated DFS) is loaded into `shards`
-//! partitions, each behind a reader–writer lock. Queries fan out to every
-//! shard (codes are partitioned by hash, so any code within distance `h`
-//! of a query may live anywhere) and the per-shard answers are unioned —
-//! exact, because the shards hold disjoint code sets.
+//! partitions. Queries fan out to every shard (codes are partitioned by
+//! hash, so any code within distance `h` of a query may live anywhere)
+//! and the per-shard answers are unioned — exact, because the shards
+//! hold disjoint code sets.
 //!
-//! Three serving mechanisms ride on top of plain H-Search:
+//! Each shard is served **generationally** (LSM-style over the paper's
+//! §5 H-Insert/H-Delete): an immutable, `Arc`-swapped frozen
+//! [`PlannedIndex`] *generation* plus a small mutable
+//! [`DeltaIndex`] overlay searched alongside it. Mutations land in the
+//! delta in O(delta) — never a re-freeze of the shard — and a background
+//! **freeze/merge worker** absorbs the delta in batches, H-Builds the
+//! next generation off-lock, and publishes it with one O(1) pointer swap
+//! under a brief write lock. Readers never observe a half-applied
+//! mutation and are never blocked by an index rebuild.
+//!
+//! Crash tolerance (durable mode, [`HaServe::bootstrap_durable`] /
+//! [`HaServe::recover`]): every mutation is appended to a checksummed
+//! write-ahead log on the DFS **before** it is applied or acknowledged;
+//! each published generation persists a blob plus a `CURRENT` manifest
+//! recording the WAL sequence it absorbed, after which the WAL prefix is
+//! truncated. Recovery loads the last durable generation and replays the
+//! WAL suffix — reaching exactly the state every acknowledged mutation
+//! implies. The merge worker runs under `catch_unwind` with bounded
+//! retries and backoff; a poisoned merge degrades the shard to
+//! delta-only serving (still exact) instead of taking it down.
+//!
+//! Serving mechanisms on top of plain H-Search:
 //!
 //! * **Micro-batching** — queued selects with the same radius are grouped
-//!   and answered by one *shared-frontier* batched H-Search per shard
-//!   ([`DynamicHaIndex::batch_search`]): the forest is traversed once per
-//!   batch instead of once per query, the serving-time analogue of the
-//!   paper's "one masked computation verifies many tuples" amortization.
+//!   and answered by one *shared-frontier* batched H-Search per shard:
+//!   the forest is traversed once per batch instead of once per query.
 //! * **Admission control** — the request queue is bounded; a full queue
-//!   rejects with [`ServiceError::Overloaded`] instead of queueing
-//!   without bound.
+//!   rejects with [`ServiceError::Overloaded`]. Requests may also carry a
+//!   **deadline**: work whose deadline expired while queued is shed at
+//!   dequeue with [`ServiceError::DeadlineExceeded`] rather than
+//!   executed — under overload, capacity goes to answers somebody still
+//!   wants.
 //! * **Epoch-validated result caching** — every successful H-Insert /
 //!   H-Delete bumps a global epoch *while holding the mutated shard's
-//!   write lock*; cached answers are tagged with the epoch they were
-//!   computed at and only served back at that exact epoch, so a cache
-//!   hit is provably identical to re-running the search.
+//!   write lock*; cached answers are only served back at the exact epoch
+//!   they were computed at. Generation swaps do **not** bump the epoch:
+//!   a merge is content-preserving (`next_gen ⊎ rebased_delta` is the
+//!   same live multiset as `gen ⊎ delta`), so equal epochs still imply
+//!   identical answers — the cache stays exact across swaps. See
+//!   DESIGN.md, "Generational serving".
 //!
 //! With `workers == 0` the service runs in manual-drive mode: nothing is
-//! processed until [`HaServe::pump`] is called, which makes overload and
-//! scheduling behaviour exactly reproducible in tests.
+//! processed until [`HaServe::pump`] is called and merges happen only
+//! via [`HaServe::merge_now`], which makes scheduling, overload, and
+//! swap behaviour exactly reproducible in tests.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ha_bitcode::BinaryCode;
+use ha_core::delta::{DeltaIndex, DeltaOp};
 use ha_core::planner::{PlanConfig, PlannedIndex};
-use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
+use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, TupleId};
 use ha_mapreduce::checksum::fnv64;
-use ha_mapreduce::InMemoryDfs;
+use ha_mapreduce::wal::{DfsWal, WalError};
+use ha_mapreduce::{DfsError, InMemoryDfs};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::ResultCache;
 use crate::error::ServiceError;
+use crate::fault::{CrashPoint, MergeFault, MergeFaultEvent, MergeFaultInjector, MergeFaultPlan};
 use crate::metrics::{LatencyHistogram, ServeMetrics, ShardMetrics};
 
 /// Tuning knobs of the serving layer.
@@ -53,7 +83,10 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Worker threads draining the request queue. `0` = manual-drive
     /// mode: requests queue up until [`HaServe::pump`] processes them on
-    /// the calling thread (deterministic tests, overload experiments).
+    /// the calling thread, and merges run only via
+    /// [`HaServe::merge_now`] (deterministic tests, overload
+    /// experiments). With `workers > 0` a dedicated freeze/merge thread
+    /// also runs.
     pub workers: usize,
     /// Bound of the request queue; a full queue rejects new requests
     /// with [`ServiceError::Overloaded`].
@@ -74,6 +107,19 @@ pub struct ServeConfig {
     /// Seed for the deterministic shard probe rotation (spreads which
     /// shard is probed first across batches).
     pub seed: u64,
+    /// Delta size (in applied mutations) at which a background merge is
+    /// requested for the shard. Smaller = fresher generations and more
+    /// merge churn.
+    pub delta_cap: usize,
+    /// Merge attempts before a shard's merge is declared poisoned and
+    /// the shard degrades to delta-only serving.
+    pub max_merge_attempts: u32,
+    /// Sleep between failed merge attempts (deterministic backoff).
+    pub merge_backoff: Duration,
+    /// Deterministic fault schedule for chaos tests: scripted merge
+    /// panics/delays and scripted process crashes around the WAL append.
+    /// Empty by default (no faults).
+    pub merge_faults: MergeFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +133,10 @@ impl Default for ServeConfig {
             dha: DhaConfig::default(),
             model: CostModel::default(),
             seed: 0,
+            delta_cap: 512,
+            max_merge_attempts: 3,
+            merge_backoff: Duration::from_millis(1),
+            merge_faults: MergeFaultPlan::new(),
         }
     }
 }
@@ -96,22 +146,133 @@ fn owner(code: &BinaryCode, shards: usize) -> usize {
     (fnv64(&code.to_packed_bytes()) % shards as u64) as usize
 }
 
+/// DFS layout of a durable service rooted at `base`.
+fn gen_blob_path(base: &str, shard: usize, gen_no: u64) -> String {
+    format!("{base}/gen/shard{shard}/{gen_no:020}.haix")
+}
+fn manifest_path(base: &str, shard: usize) -> String {
+    format!("{base}/gen/shard{shard}/CURRENT")
+}
+fn meta_path(base: &str) -> String {
+    format!("{base}/META")
+}
+fn wal_path(base: &str, shard: usize) -> String {
+    format!("{base}/wal/shard{shard}")
+}
+
+/// WAL record encoding of one mutation:
+/// `[tag: u8][id: u64 LE][packed code bytes]`.
+fn encode_op(op: &DeltaOp) -> Vec<u8> {
+    let (tag, code, id) = match op {
+        DeltaOp::Insert(c, id) => (0u8, c, *id),
+        DeltaOp::Delete(c, id) => (1u8, c, *id),
+    };
+    let mut out = Vec::with_capacity(9 + code.len().div_ceil(8));
+    out.push(tag);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&code.to_packed_bytes());
+    out
+}
+
+/// Inverse of [`encode_op`]; `None` on any framing violation.
+fn decode_op(bytes: &[u8], code_len: usize) -> Option<DeltaOp> {
+    let nbytes = code_len.div_ceil(8);
+    if bytes.len() != 9 + nbytes {
+        return None;
+    }
+    let mut idb = [0u8; 8];
+    idb.copy_from_slice(&bytes[1..9]);
+    let id = u64::from_le_bytes(idb);
+    let code = BinaryCode::from_packed_bytes(&bytes[9..], code_len);
+    match bytes[0] {
+        0 => Some(DeltaOp::Insert(code, id)),
+        1 => Some(DeltaOp::Delete(code, id)),
+        _ => None,
+    }
+}
+
+/// One published, immutable generation of a shard. Readers hold it via
+/// `Arc` clone; the merge worker replaces the pointer atomically under
+/// the shard's write lock.
+struct GenerationSnapshot {
+    /// Monotone generation number (0 = the build/bootstrap generation).
+    gen_no: u64,
+    /// Highest WAL/delta sequence number this generation has absorbed.
+    through_seq: u64,
+    /// The frozen index answering for everything `<= through_seq`.
+    index: PlannedIndex,
+}
+
+/// The swappable read state of one shard.
+struct ShardState {
+    gen: Arc<GenerationSnapshot>,
+    delta: DeltaIndex,
+    /// Set when the merge worker exhausted its retries; the shard keeps
+    /// serving exactly from `gen ⊎ delta`, the delta just stops being
+    /// absorbed.
+    merge_poisoned: bool,
+}
+
+/// The serialized ingest side of one shard: WAL appends and sequence
+/// assignment happen under this lock, *before* the read state is
+/// touched — the WAL-before-ack ordering.
+struct IngestState {
+    wal: Option<DfsWal>,
+    next_seq: u64,
+}
+
+struct Shard {
+    state: RwLock<ShardState>,
+    ingest: Mutex<IngestState>,
+    /// Lifetime merge-attempt counter — the key `MergeFaultPlan` faults
+    /// are scheduled against.
+    merge_attempts: AtomicU32,
+}
+
+/// Durable-mode handles: where generations, manifests, and WALs live.
+struct Durable {
+    dfs: Arc<InMemoryDfs>,
+    base: String,
+}
+
 /// A queued request. `queued` carries the admission timestamp when
-/// tracing is on (`None` otherwise), so the processing side can report
-/// queue-wait separately from execution.
+/// tracing is on (`None` otherwise); `deadline` is the instant after
+/// which the answer is worthless and the work is shed at dequeue.
 enum Work {
     Select {
         code: BinaryCode,
         h: u32,
         queued: Option<Instant>,
-        tx: mpsc::Sender<Vec<TupleId>>,
+        deadline: Option<Instant>,
+        tx: mpsc::Sender<Result<Vec<TupleId>, ServiceError>>,
     },
     Knn {
         code: BinaryCode,
         k: usize,
         queued: Option<Instant>,
-        tx: mpsc::Sender<Vec<(TupleId, u32)>>,
+        deadline: Option<Instant>,
+        tx: mpsc::Sender<Result<Vec<(TupleId, u32)>, ServiceError>>,
     },
+}
+
+impl Work {
+    fn deadline(&self) -> Option<Instant> {
+        match self {
+            Work::Select { deadline, .. } | Work::Knn { deadline, .. } => *deadline,
+        }
+    }
+
+    /// Answers the request with [`ServiceError::DeadlineExceeded`].
+    fn reply_shed(self) {
+        match self {
+            Work::Select { tx, .. } => {
+                let _ = tx.send(Err(ServiceError::DeadlineExceeded));
+            }
+            Work::Knn { tx, .. } => {
+                let _ = tx.send(Err(ServiceError::DeadlineExceeded));
+            }
+        }
+    }
 }
 
 /// Timestamp for [`Work::Select::queued`]: taken only when tracing is on.
@@ -134,13 +295,13 @@ enum Batch {
         h: u32,
         codes: Vec<BinaryCode>,
         queued: Vec<Option<Instant>>,
-        txs: Vec<mpsc::Sender<Vec<TupleId>>>,
+        txs: Vec<mpsc::Sender<Result<Vec<TupleId>, ServiceError>>>,
     },
     Knn {
         code: BinaryCode,
         k: usize,
         queued: Option<Instant>,
-        tx: mpsc::Sender<Vec<(TupleId, u32)>>,
+        tx: mpsc::Sender<Result<Vec<(TupleId, u32)>, ServiceError>>,
     },
 }
 
@@ -155,6 +316,7 @@ fn take_batch(queue: &mut VecDeque<Work>, max_batch: usize) -> Option<Batch> {
             k,
             queued,
             tx,
+            ..
         } => Some(Batch::Knn {
             code,
             k,
@@ -166,6 +328,7 @@ fn take_batch(queue: &mut VecDeque<Work>, max_batch: usize) -> Option<Batch> {
             h,
             queued,
             tx,
+            ..
         } => {
             let mut codes = vec![code];
             let mut queued_at = vec![queued];
@@ -196,6 +359,30 @@ fn take_batch(queue: &mut VecDeque<Work>, max_batch: usize) -> Option<Batch> {
     }
 }
 
+/// Removes expired work from the queue (returned for out-of-lock
+/// replies), then forms the next batch from what survives. The
+/// expiry scan runs only when some queued request actually carries a
+/// deadline, so deadline-free workloads pay nothing.
+fn dequeue(queue: &mut VecDeque<Work>, max_batch: usize) -> (Vec<Work>, Option<Batch>) {
+    let mut shed = Vec::new();
+    if queue.iter().any(|w| w.deadline().is_some()) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < queue.len() {
+            let expired = matches!(queue.get(i).and_then(Work::deadline), Some(d) if d <= now);
+            if expired {
+                if let Some(w) = queue.remove(i) {
+                    shed.push(w);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let batch = take_batch(queue, max_batch);
+    (shed, batch)
+}
+
 /// Mutable counters behind one lock; folded into [`ServeMetrics`]
 /// snapshots.
 struct MetricsState {
@@ -206,6 +393,12 @@ struct MetricsState {
     cache_hits: u64,
     cache_misses: u64,
     rejected: u64,
+    deadline_shed: u64,
+    wal_appends: u64,
+    wal_replayed: u64,
+    merge_attempts: u64,
+    merge_panics: u64,
+    merges_completed: u64,
     batches_formed: u64,
     batch_sizes: BTreeMap<usize, u64>,
     shard_searches: Vec<u64>,
@@ -222,6 +415,12 @@ impl MetricsState {
             cache_hits: 0,
             cache_misses: 0,
             rejected: 0,
+            deadline_shed: 0,
+            wal_appends: 0,
+            wal_replayed: 0,
+            merge_attempts: 0,
+            merge_panics: 0,
+            merges_completed: 0,
             batches_formed: 0,
             batch_sizes: BTreeMap::new(),
             shard_searches: vec![0; shards],
@@ -232,19 +431,27 @@ impl MetricsState {
 
 struct Inner {
     code_len: usize,
-    shards: Vec<RwLock<PlannedIndex>>,
+    shards: Vec<Shard>,
     /// Global mutation epoch. Bumped while holding the mutated shard's
     /// write lock, so a reader holding *all* shard read locks observes a
     /// frozen epoch — the invariant the result cache's exactness rests
-    /// on.
+    /// on. Generation swaps do *not* bump it: merges are
+    /// content-preserving.
     epoch: AtomicU64,
     queue: StdMutex<VecDeque<Work>>,
     available: Condvar,
+    merge_queue: StdMutex<VecDeque<usize>>,
+    merge_available: Condvar,
     shutdown: AtomicBool,
     cache: Mutex<ResultCache>,
     state: Mutex<MetricsState>,
     started: Instant,
     batch_seq: AtomicU64,
+    /// Global 0-based mutation ordinal — the key crash faults are
+    /// scheduled against.
+    mutation_ordinal: AtomicU64,
+    faults: MergeFaultInjector,
+    durable: Option<Durable>,
     cfg: ServeConfig,
 }
 
@@ -252,28 +459,30 @@ struct Inner {
 /// (or a [`HaServe::pump`] call) answers it.
 #[derive(Debug)]
 pub struct SelectTicket {
-    rx: mpsc::Receiver<Vec<TupleId>>,
+    rx: mpsc::Receiver<Result<Vec<TupleId>, ServiceError>>,
 }
 
 impl SelectTicket {
     /// Blocks for the answer: all ids within the requested radius, sorted
-    /// ascending.
+    /// ascending — or the typed reason none will come
+    /// ([`ServiceError::DeadlineExceeded`] for shed work,
+    /// [`ServiceError::Shutdown`] if the service died first).
     pub fn wait(self) -> Result<Vec<TupleId>, ServiceError> {
-        self.rx.recv().map_err(|_| ServiceError::Shutdown)
+        self.rx.recv().map_err(|_| ServiceError::Shutdown)?
     }
 }
 
 /// A pending kNN-select.
 #[derive(Debug)]
 pub struct KnnTicket {
-    rx: mpsc::Receiver<Vec<(TupleId, u32)>>,
+    rx: mpsc::Receiver<Result<Vec<(TupleId, u32)>, ServiceError>>,
 }
 
 impl KnnTicket {
     /// Blocks for the answer: the `k` nearest `(id, distance)` pairs,
     /// ordered by `(distance, id)`.
     pub fn wait(self) -> Result<Vec<(TupleId, u32)>, ServiceError> {
-        self.rx.recv().map_err(|_| ServiceError::Shutdown)
+        self.rx.recv().map_err(|_| ServiceError::Shutdown)?
     }
 }
 
@@ -282,46 +491,153 @@ impl KnnTicket {
 pub struct HaServe {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    merger: Option<JoinHandle<()>>,
 }
 
 impl HaServe {
-    /// Builds a service over `items`, hash-partitioned into
-    /// `cfg.shards` HA-Index shards (H-Build per shard).
+    /// Builds an in-memory service over `items`, hash-partitioned into
+    /// `cfg.shards` HA-Index shards (H-Build per shard). Generation 0 of
+    /// every shard is the build output; no WAL is kept — use
+    /// [`HaServe::bootstrap_durable`] for crash tolerance.
     pub fn build(
         code_len: usize,
         items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
         cfg: ServeConfig,
     ) -> Result<HaServe, ServiceError> {
-        if !cfg.dha.keep_leaf_ids {
-            return Err(ServiceError::Leafless);
-        }
-        let nshards = cfg.shards.max(1);
-        let mut parts: Vec<Vec<(BinaryCode, TupleId)>> = vec![Vec::new(); nshards];
-        for (code, id) in items {
-            if code.len() != code_len {
-                return Err(ServiceError::WrongCodeLength {
-                    expected: code_len,
-                    got: code.len(),
-                });
-            }
-            parts[owner(&code, nshards)].push((code, id));
-        }
-        let shards: Vec<RwLock<PlannedIndex>> = parts
+        let parts = partition(code_len, items, &cfg)?;
+        let shards = parts
             .into_iter()
             .map(|p| {
-                // Each shard owns every backend (frozen flat snapshot +
-                // MIH chunk tables) behind the adaptive planner; mutations
-                // re-freeze under the shard's write lock, so reads always
-                // have the full backend menu available.
-                let plan = PlanConfig {
-                    dha: cfg.dha.clone(),
-                    mih_chunks: None,
-                    model: cfg.model.clone(),
-                };
-                RwLock::new(PlannedIndex::build_with(code_len, p, plan))
+                let index = PlannedIndex::build_with(code_len, p, plan_config(&cfg));
+                fresh_shard(index, 0, 0, None)
             })
             .collect();
+        Ok(Self::start(code_len, shards, None, cfg))
+    }
 
+    /// Builds a **durable** service: generation 0 of every shard is
+    /// persisted to `dfs` under `base` (blob + `CURRENT` manifest +
+    /// top-level `META`), and an initially-empty WAL is opened per
+    /// shard. Every subsequent mutation is WAL-appended before it is
+    /// acknowledged; [`HaServe::recover`] restores the exact
+    /// acknowledged state from `dfs` after a crash.
+    pub fn bootstrap_durable(
+        dfs: &Arc<InMemoryDfs>,
+        base: &str,
+        code_len: usize,
+        items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+        cfg: ServeConfig,
+    ) -> Result<HaServe, ServiceError> {
+        let base = base.trim_end_matches('/').to_string();
+        let parts = partition(code_len, items, &cfg)?;
+        let nshards = parts.len();
+        let mut shards = Vec::with_capacity(nshards);
+        for (s, p) in parts.into_iter().enumerate() {
+            let index = PlannedIndex::build_with(code_len, p, plan_config(&cfg));
+            dfs.try_put_with_blocks(&gen_blob_path(&base, s, 0), index.dha().to_bytes(), usize::MAX, 1)?;
+            dfs.try_put_with_blocks(&manifest_path(&base, s), vec![(0u64, 0u64)], usize::MAX, 16)?;
+            let wal = DfsWal::open(Arc::clone(dfs), &wal_path(&base, s));
+            shards.push(fresh_shard(index, 0, 0, Some(wal)));
+        }
+        dfs.try_put_with_blocks(&meta_path(&base), vec![code_len as u64, nshards as u64], usize::MAX, 8)?;
+        let durable = Durable {
+            dfs: Arc::clone(dfs),
+            base,
+        };
+        Ok(Self::start(code_len, shards, Some(durable), cfg))
+    }
+
+    /// Recovers a durable service from `dfs`: per shard, loads the last
+    /// published generation (per its `CURRENT` manifest), replays the
+    /// WAL suffix beyond the manifest's absorbed watermark onto the
+    /// delta, and resumes serving. The recovered state is exactly the
+    /// state every WAL-durable mutation implies — which includes every
+    /// acknowledged one (WAL-before-ack), and possibly a durable-but-
+    /// unacknowledged tail.
+    pub fn recover(
+        dfs: &Arc<InMemoryDfs>,
+        base: &str,
+        cfg: ServeConfig,
+    ) -> Result<HaServe, ServiceError> {
+        let base = base.trim_end_matches('/').to_string();
+        let meta: Vec<u64> = dfs.try_get(&meta_path(&base))?;
+        let (code_len, nshards) = match meta.as_slice() {
+            [len, n, ..] if *n >= 1 => (*len as usize, *n as usize),
+            _ => {
+                return Err(ServiceError::Storage(DfsError::ChecksumMismatch {
+                    path: meta_path(&base),
+                    block: 0,
+                }))
+            }
+        };
+        let mut shards = Vec::with_capacity(nshards);
+        let mut replayed_total = 0u64;
+        for s in 0..nshards {
+            let manifest: Vec<(u64, u64)> = dfs.try_get(&manifest_path(&base, s))?;
+            let Some(&(gen_no, through_seq)) = manifest.first() else {
+                return Err(ServiceError::Storage(DfsError::ChecksumMismatch {
+                    path: manifest_path(&base, s),
+                    block: 0,
+                }));
+            };
+            let blob: Vec<u8> = dfs.try_get(&gen_blob_path(&base, s, gen_no))?;
+            let dha = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone())?;
+            let items: Vec<(BinaryCode, TupleId)> = dha.items().collect();
+            let index = PlannedIndex::build_with(code_len, items, plan_config(&cfg));
+            let mut wal = DfsWal::open(Arc::clone(dfs), &wal_path(&base, s));
+            wal.skip_to(through_seq + 1);
+            let mut delta = DeltaIndex::new();
+            {
+                let _replay_span =
+                    ha_obs::span_labeled("serve.gen.replay", || format!("shard={s}"));
+                for (seq, payload) in wal.replay().map_err(wal_to_service)? {
+                    if seq <= through_seq {
+                        continue;
+                    }
+                    let Some(op) = decode_op(&payload, code_len) else {
+                        return Err(ServiceError::Storage(DfsError::ChecksumMismatch {
+                            path: wal_path(&base, s),
+                            block: seq as usize,
+                        }));
+                    };
+                    delta.apply(&index, seq, op);
+                    replayed_total += 1;
+                }
+            }
+            let shard = Shard {
+                ingest: Mutex::new(IngestState {
+                    next_seq: wal.next_seq(),
+                    wal: Some(wal),
+                }),
+                state: RwLock::new(ShardState {
+                    gen: Arc::new(GenerationSnapshot {
+                        gen_no,
+                        through_seq,
+                        index,
+                    }),
+                    delta,
+                    merge_poisoned: false,
+                }),
+                merge_attempts: AtomicU32::new(0),
+            };
+            shards.push(shard);
+        }
+        ha_obs::add("serve.gen.wal_replayed", replayed_total);
+        let durable = Durable {
+            dfs: Arc::clone(dfs),
+            base,
+        };
+        let serve = Self::start(code_len, shards, Some(durable), cfg);
+        serve.inner.state.lock().wal_replayed = replayed_total;
+        Ok(serve)
+    }
+
+    fn start(
+        code_len: usize,
+        shards: Vec<Shard>,
+        durable: Option<Durable>,
+        cfg: ServeConfig,
+    ) -> HaServe {
         let inner = Arc::new(Inner {
             code_len,
             state: Mutex::new(MetricsState::new(shards.len())),
@@ -329,26 +645,40 @@ impl HaServe {
             epoch: AtomicU64::new(0),
             queue: StdMutex::new(VecDeque::new()),
             available: Condvar::new(),
+            merge_queue: StdMutex::new(VecDeque::new()),
+            merge_available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: Mutex::new(ResultCache::new(cfg.cache_capacity)),
             started: Instant::now(),
             batch_seq: AtomicU64::new(0),
+            mutation_ordinal: AtomicU64::new(0),
+            faults: MergeFaultInjector::new(cfg.merge_faults.clone()),
+            durable,
             cfg,
         });
-        let workers = (0..inner.cfg.workers)
+        let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 std::thread::spawn(move || worker_loop(&inner))
             })
             .collect();
-        Ok(HaServe { inner, workers })
+        let merger = (inner.cfg.workers > 0).then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || merge_loop(&inner))
+        });
+        HaServe {
+            inner,
+            workers,
+            merger,
+        }
     }
 
     /// Loads the global HA-Index from its DFS blob(s) — the artifact the
     /// MapReduce pipeline persists — verifying both the DFS block
     /// checksums (read path) and the blob's own FNV-1a footer (decode
     /// path), then re-shards the tuples across `cfg.shards` and starts
-    /// serving.
+    /// serving (in-memory; see [`HaServe::bootstrap_durable`] for the
+    /// crash-tolerant variant).
     pub fn load_from_dfs(
         dfs: &InMemoryDfs,
         path: &str,
@@ -386,9 +716,17 @@ impl HaServe {
         self.inner.shards.len()
     }
 
-    /// Tuples resident across all shards.
+    /// Tuples live across all shards (generation plus delta, minus
+    /// tombstones).
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.read().len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                let st = s.state.read();
+                st.delta.live_len(&st.gen.index)
+            })
+            .sum()
     }
 
     /// True when nothing is indexed.
@@ -397,14 +735,28 @@ impl HaServe {
     }
 
     /// Current global mutation epoch (0 at start; +1 per applied
-    /// mutation).
+    /// mutation; unchanged by generation swaps).
     pub fn epoch(&self) -> u64 {
         self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Published generation number of `shard` (0 at build/bootstrap).
+    pub fn generation(&self, shard: usize) -> u64 {
+        match self.inner.shards.get(shard) {
+            Some(s) => s.state.read().gen.gen_no,
+            None => 0,
+        }
     }
 
     /// Shard that owns `code` under the hash partitioning.
     pub fn shard_of(&self, code: &BinaryCode) -> usize {
         owner(code, self.inner.shards.len())
+    }
+
+    /// Every fault the configured [`MergeFaultPlan`] has delivered so
+    /// far, in delivery order.
+    pub fn merge_faults_delivered(&self) -> Vec<MergeFaultEvent> {
+        self.inner.faults.delivered()
     }
 
     fn check_len(&self, code: &BinaryCode) -> Result<(), ServiceError> {
@@ -445,12 +797,35 @@ impl HaServe {
     /// returned ticket resolves once a worker answers the batch it lands
     /// in.
     pub fn submit_select(&self, code: &BinaryCode, h: u32) -> Result<SelectTicket, ServiceError> {
+        self.submit_select_inner(code, h, None)
+    }
+
+    /// Like [`HaServe::submit_select`], but the request is only worth
+    /// answering for `budget` from now: if it is still queued when the
+    /// budget expires, it is shed at dequeue and the ticket resolves to
+    /// [`ServiceError::DeadlineExceeded`].
+    pub fn submit_select_with_deadline(
+        &self,
+        code: &BinaryCode,
+        h: u32,
+        budget: Duration,
+    ) -> Result<SelectTicket, ServiceError> {
+        self.submit_select_inner(code, h, Some(Instant::now() + budget))
+    }
+
+    fn submit_select_inner(
+        &self,
+        code: &BinaryCode,
+        h: u32,
+        deadline: Option<Instant>,
+    ) -> Result<SelectTicket, ServiceError> {
         self.check_len(code)?;
         let (tx, rx) = mpsc::channel();
         self.enqueue(Work::Select {
             code: code.clone(),
             h,
             queued: queued_stamp(),
+            deadline,
             tx,
         })?;
         Ok(SelectTicket { rx })
@@ -458,12 +833,32 @@ impl HaServe {
 
     /// Enqueues a kNN-select without waiting.
     pub fn submit_knn(&self, code: &BinaryCode, k: usize) -> Result<KnnTicket, ServiceError> {
+        self.submit_knn_inner(code, k, None)
+    }
+
+    /// Deadline-carrying variant of [`HaServe::submit_knn`].
+    pub fn submit_knn_with_deadline(
+        &self,
+        code: &BinaryCode,
+        k: usize,
+        budget: Duration,
+    ) -> Result<KnnTicket, ServiceError> {
+        self.submit_knn_inner(code, k, Some(Instant::now() + budget))
+    }
+
+    fn submit_knn_inner(
+        &self,
+        code: &BinaryCode,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<KnnTicket, ServiceError> {
         self.check_len(code)?;
         let (tx, rx) = mpsc::channel();
         self.enqueue(Work::Knn {
             code: code.clone(),
             k,
             queued: queued_stamp(),
+            deadline,
             tx,
         })?;
         Ok(KnnTicket { rx })
@@ -491,40 +886,24 @@ impl HaServe {
         ticket.wait()
     }
 
-    /// Applies one H-Insert to the owning shard and bumps the mutation
-    /// epoch (invalidating the result cache).
+    /// Applies one H-Insert: WAL-append first (durable mode), then into
+    /// the owning shard's delta — O(delta), never a shard re-freeze —
+    /// and bumps the mutation epoch (invalidating the result cache).
     pub fn insert(&self, code: BinaryCode, id: TupleId) -> Result<(), ServiceError> {
         self.check_len(&code)?;
-        let s = owner(&code, self.inner.shards.len());
-        {
-            let mut idx = self.inner.shards[s].write();
-            idx.insert(code, id);
-            // Re-freeze while we still hold the write lock: readers never
-            // see a stale snapshot and never fall back to the arena BFS.
-            // This trades write latency for read throughput, the serving
-            // layer's stated bias.
-            idx.freeze();
-            self.inner.epoch.fetch_add(1, Ordering::SeqCst);
-        }
+        self.inner.apply_mutation(DeltaOp::Insert(code, id))?;
         self.inner.state.lock().inserts += 1;
         ha_obs::add("serve.inserts", 1);
         Ok(())
     }
 
-    /// Applies one H-Delete to the owning shard; returns whether the pair
-    /// was present. Only a successful delete bumps the epoch.
+    /// Applies one H-Delete to the owning shard's delta; returns whether
+    /// the pair was live. Only a successful delete bumps the epoch.
     pub fn delete(&self, code: &BinaryCode, id: TupleId) -> Result<bool, ServiceError> {
         self.check_len(code)?;
-        let s = owner(code, self.inner.shards.len());
-        let removed = {
-            let mut idx = self.inner.shards[s].write();
-            let removed = idx.delete(code, id);
-            if removed {
-                idx.freeze();
-                self.inner.epoch.fetch_add(1, Ordering::SeqCst);
-            }
-            removed
-        };
+        let removed = self
+            .inner
+            .apply_mutation(DeltaOp::Delete(code.clone(), id))?;
         if removed {
             self.inner.state.lock().deletes += 1;
             ha_obs::add("serve.deletes", 1);
@@ -532,29 +911,52 @@ impl HaServe {
         Ok(removed)
     }
 
-    /// Processes one pending batch on the calling thread; returns whether
-    /// there was anything to do. The manual-drive counterpart of the
-    /// worker loop.
+    /// Runs one merge of `shard` on the calling thread (the manual-drive
+    /// counterpart of the background freeze/merge worker): absorbs the
+    /// current delta into the next generation and publishes it. Returns
+    /// whether a generation was published (`false` when the delta was
+    /// empty or the shard's merge is poisoned).
+    pub fn merge_now(&self, shard: usize) -> Result<bool, ServiceError> {
+        if shard >= self.inner.shards.len() {
+            return Ok(false);
+        }
+        self.inner.merge_shard(shard)
+    }
+
+    /// [`HaServe::merge_now`] over every shard; returns how many
+    /// generations were published.
+    pub fn merge_all_now(&self) -> Result<usize, ServiceError> {
+        let mut published = 0;
+        for s in 0..self.inner.shards.len() {
+            if self.inner.merge_shard(s)? {
+                published += 1;
+            }
+        }
+        Ok(published)
+    }
+
+    /// Processes one pending batch on the calling thread (after shedding
+    /// any expired work); returns whether there was anything to do. The
+    /// manual-drive counterpart of the worker loop.
     pub fn pump(&self) -> bool {
-        let batch = {
+        let (shed, batch) = {
             let mut q = self
                 .inner
                 .queue
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            take_batch(&mut q, self.inner.cfg.max_batch)
+            dequeue(&mut q, self.inner.cfg.max_batch)
         };
-        match batch {
-            Some(b) => {
-                self.inner.process(b);
-                true
-            }
-            None => false,
+        let did = !shed.is_empty() || batch.is_some();
+        self.inner.reply_shed(shed);
+        if let Some(b) = batch {
+            self.inner.process(b);
         }
+        did
     }
 
-    /// Pumps until the queue is empty; returns the number of batches
-    /// processed.
+    /// Pumps until the queue is empty; returns the number of pump steps
+    /// that found work.
     pub fn pump_all(&self) -> usize {
         let mut n = 0;
         while self.pump() {
@@ -574,18 +976,38 @@ impl HaServe {
 
     /// Snapshot of the serving counters.
     pub fn metrics(&self) -> ServeMetrics {
-        let shard_items: Vec<usize> = self.inner.shards.iter().map(|s| s.read().len()).collect();
+        let shard_views: Vec<(usize, u64, usize, bool)> = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| {
+                let st = s.state.read();
+                (
+                    st.delta.live_len(&st.gen.index),
+                    st.gen.gen_no,
+                    st.delta.ops_len(),
+                    st.merge_poisoned,
+                )
+            })
+            .collect();
         let cache_evictions = self.inner.cache.lock().evictions();
         let st = self.inner.state.lock();
-        let per_shard = shard_items
+        let per_shard = shard_views
             .into_iter()
             .zip(st.shard_searches.iter())
             .zip(st.shard_latency.iter())
-            .map(|((items, &searches), latency)| ShardMetrics {
-                searches,
-                items,
-                latency: *latency,
-            })
+            .map(
+                |(((items, generation, delta_ops, merge_poisoned), &searches), latency)| {
+                    ShardMetrics {
+                        searches,
+                        items,
+                        latency: *latency,
+                        generation,
+                        delta_ops,
+                        merge_poisoned,
+                    }
+                },
+            )
             .collect();
         ServeMetrics {
             selects: st.selects,
@@ -596,10 +1018,74 @@ impl HaServe {
             cache_misses: st.cache_misses,
             cache_evictions,
             rejected: st.rejected,
+            deadline_shed: st.deadline_shed,
+            wal_appends: st.wal_appends,
+            wal_replayed: st.wal_replayed,
+            merge_attempts: st.merge_attempts,
+            merge_panics: st.merge_panics,
+            merges_completed: st.merges_completed,
             batches_formed: st.batches_formed,
             batch_sizes: st.batch_sizes.iter().map(|(&s, &c)| (s, c)).collect(),
             per_shard,
             elapsed: self.inner.started.elapsed(),
+        }
+    }
+}
+
+/// Hash-partitions `items` into `cfg.shards` parts, validating code
+/// lengths and the leafful-config requirement.
+fn partition(
+    code_len: usize,
+    items: impl IntoIterator<Item = (BinaryCode, TupleId)>,
+    cfg: &ServeConfig,
+) -> Result<Vec<Vec<(BinaryCode, TupleId)>>, ServiceError> {
+    if !cfg.dha.keep_leaf_ids {
+        return Err(ServiceError::Leafless);
+    }
+    let nshards = cfg.shards.max(1);
+    let mut parts: Vec<Vec<(BinaryCode, TupleId)>> = vec![Vec::new(); nshards];
+    for (code, id) in items {
+        if code.len() != code_len {
+            return Err(ServiceError::WrongCodeLength {
+                expected: code_len,
+                got: code.len(),
+            });
+        }
+        parts[owner(&code, nshards)].push((code, id));
+    }
+    Ok(parts)
+}
+
+fn plan_config(cfg: &ServeConfig) -> PlanConfig {
+    PlanConfig {
+        dha: cfg.dha.clone(),
+        mih_chunks: None,
+        model: cfg.model.clone(),
+    }
+}
+
+fn fresh_shard(index: PlannedIndex, gen_no: u64, through_seq: u64, wal: Option<DfsWal>) -> Shard {
+    let next_seq = wal.as_ref().map_or(1, DfsWal::next_seq);
+    Shard {
+        state: RwLock::new(ShardState {
+            gen: Arc::new(GenerationSnapshot {
+                gen_no,
+                through_seq,
+                index,
+            }),
+            delta: DeltaIndex::new(),
+            merge_poisoned: false,
+        }),
+        ingest: Mutex::new(IngestState { wal, next_seq }),
+        merge_attempts: AtomicU32::new(0),
+    }
+}
+
+fn wal_to_service(e: WalError) -> ServiceError {
+    match e {
+        WalError::Storage(e) => ServiceError::Storage(e),
+        WalError::Corrupt { path, .. } => {
+            ServiceError::Storage(DfsError::ChecksumMismatch { path, block: 0 })
         }
     }
 }
@@ -611,6 +1097,7 @@ impl std::fmt::Debug for HaServe {
             .field("shards", &self.inner.shards.len())
             .field("workers", &self.workers.len())
             .field("epoch", &self.epoch())
+            .field("durable", &self.inner.durable.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -619,7 +1106,11 @@ impl Drop for HaServe {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.available.notify_all();
+        self.inner.merge_available.notify_all();
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.merger.take() {
             let _ = h.join();
         }
         // Manual-drive mode has no workers; answer what is left so no
@@ -632,14 +1123,15 @@ impl Drop for HaServe {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let batch = {
+        let (shed, batch) = {
             let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(b) = take_batch(&mut q, inner.cfg.max_batch) {
-                    break Some(b);
+                let (shed, batch) = dequeue(&mut q, inner.cfg.max_batch);
+                if !shed.is_empty() || batch.is_some() {
+                    break (shed, batch);
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
-                    break None;
+                    return;
                 }
                 q = inner
                     .available
@@ -647,14 +1139,251 @@ fn worker_loop(inner: &Inner) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        match batch {
-            Some(b) => inner.process(b),
+        inner.reply_shed(shed);
+        if let Some(b) = batch {
+            inner.process(b);
+        }
+    }
+}
+
+/// The background freeze/merge worker: waits for shards whose deltas
+/// crossed `delta_cap` and publishes their next generation.
+fn merge_loop(inner: &Inner) {
+    loop {
+        let shard = {
+            let mut q = inner
+                .merge_queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = inner
+                    .merge_available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match shard {
+            // A failed merge already poisoned the shard (or logged its
+            // storage error into the attempt counters); the worker keeps
+            // serving the others.
+            Some(s) => {
+                let _ = inner.merge_shard(s);
+            }
             None => return,
         }
     }
 }
 
 impl Inner {
+    /// The WAL-before-ack ingest path: assign a sequence number and make
+    /// the op durable under the shard's ingest lock, then apply it to
+    /// the delta (and bump the epoch) under the shard's write lock.
+    /// Returns whether the op changed the live multiset.
+    fn apply_mutation(&self, op: DeltaOp) -> Result<bool, ServiceError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::Shutdown);
+        }
+        let code = match &op {
+            DeltaOp::Insert(c, _) | DeltaOp::Delete(c, _) => c,
+        };
+        let s = owner(code, self.shards.len());
+        let shard = &self.shards[s];
+        let ordinal = self.mutation_ordinal.fetch_add(1, Ordering::SeqCst);
+        let mut ing = shard.ingest.lock();
+        if self.faults.deliver_crash(ordinal, CrashPoint::BeforeWalAck) {
+            drop(ing);
+            self.crash();
+            return Err(ServiceError::CrashInjected);
+        }
+        let seq = match ing.wal.as_mut() {
+            Some(wal) => {
+                let _wal_span = ha_obs::span("serve.gen.wal_append");
+                let seq = wal.append(&encode_op(&op)).map_err(ServiceError::Storage)?;
+                self.state.lock().wal_appends += 1;
+                ha_obs::add("serve.gen.wal_appends", 1);
+                seq
+            }
+            None => ing.next_seq,
+        };
+        ing.next_seq = seq + 1;
+        if self.faults.deliver_crash(ordinal, CrashPoint::AfterWalAck) {
+            // Durable but never acknowledged and never applied: the
+            // recovery replay must still surface it — the WAL is the
+            // truth, not the ack.
+            drop(ing);
+            self.crash();
+            return Err(ServiceError::CrashInjected);
+        }
+        let (applied, pending, poisoned) = {
+            let mut st = shard.state.write();
+            let gen = Arc::clone(&st.gen);
+            let applied = st.delta.apply(&gen.index, seq, op);
+            if applied {
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+            }
+            (applied, st.delta.ops_len(), st.merge_poisoned)
+        };
+        drop(ing);
+        if pending >= self.cfg.delta_cap && !poisoned {
+            self.request_merge(s);
+        }
+        Ok(applied)
+    }
+
+    /// Flips the service into the post-crash state: no further requests
+    /// are accepted; a fresh service must [`HaServe::recover`] from the
+    /// DFS.
+    fn crash(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        self.merge_available.notify_all();
+    }
+
+    /// Asks the background merge worker to absorb shard `s` (no-op in
+    /// manual-drive mode, where tests call [`HaServe::merge_now`]).
+    fn request_merge(&self, s: usize) {
+        if self.cfg.workers == 0 {
+            return;
+        }
+        {
+            let mut q = self
+                .merge_queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !q.contains(&s) {
+                q.push_back(s);
+            }
+        }
+        self.merge_available.notify_one();
+    }
+
+    /// One full merge of shard `s`: capture the delta under a read lock,
+    /// H-Build the next generation off-lock under panic isolation (with
+    /// bounded retries and backoff), persist it (durable mode), and
+    /// publish with an O(1) snapshot swap. The epoch is *not* bumped —
+    /// the swap is content-preserving, which is exactly why the result
+    /// cache stays exact across it.
+    fn merge_shard(&self, s: usize) -> Result<bool, ServiceError> {
+        let shard = &self.shards[s];
+        let (gen, delta) = {
+            let st = shard.state.read();
+            if st.merge_poisoned || st.delta.is_empty() {
+                return Ok(false);
+            }
+            (Arc::clone(&st.gen), st.delta.clone())
+        };
+        let through = delta.last_seq();
+        let next_gen_no = gen.gen_no + 1;
+        let _merge_span =
+            ha_obs::span_labeled("serve.gen.merge", || format!("shard={s} gen={next_gen_no}"));
+        let mut last_err = None;
+        for _ in 0..self.cfg.max_merge_attempts.max(1) {
+            let attempt = shard.merge_attempts.fetch_add(1, Ordering::SeqCst);
+            self.state.lock().merge_attempts += 1;
+            ha_obs::add("serve.gen.merge_attempts", 1);
+            let fault = self.faults.deliver_merge(s, attempt);
+            let built = catch_unwind(AssertUnwindSafe(|| -> Result<PlannedIndex, ServiceError> {
+                if fault == Some(MergeFault::PanicMidMerge) {
+                    // The injector's *deliberate* panic (budgeted in the
+                    // panic audit, like the MapReduce task injector's):
+                    // proves merge failures are contained, retried, and
+                    // degrade to delta-only serving.
+                    panic!("injected merge fault: shard {s} attempt {attempt}");
+                }
+                let items = delta.materialize(&gen.index);
+                let next = PlannedIndex::build_with(self.code_len, items, plan_config(&self.cfg));
+                if let Some(d) = &self.durable {
+                    // Blob first, manifest second: a crash between the
+                    // two leaves `CURRENT` pointing at the old (intact)
+                    // generation and the WAL un-truncated — recovery
+                    // replays over the old generation instead.
+                    let blob_path = gen_blob_path(&d.base, s, next_gen_no);
+                    d.dfs
+                        .try_put_with_blocks(&blob_path, next.dha().to_bytes(), usize::MAX, 1)?;
+                    d.dfs.try_put_with_blocks(
+                        &manifest_path(&d.base, s),
+                        vec![(next_gen_no, through)],
+                        usize::MAX,
+                        16,
+                    )?;
+                }
+                Ok(next)
+            }));
+            match built {
+                Err(_) => {
+                    self.state.lock().merge_panics += 1;
+                    ha_obs::add("serve.gen.merge_panics", 1);
+                    std::thread::sleep(self.cfg.merge_backoff);
+                }
+                Ok(Err(e)) => {
+                    last_err = Some(e);
+                    std::thread::sleep(self.cfg.merge_backoff);
+                }
+                Ok(Ok(next)) => {
+                    if let Some(MergeFault::DelayPublish(by)) = fault {
+                        std::thread::sleep(by);
+                    }
+                    {
+                        let _swap_span = ha_obs::span_labeled("serve.gen.swap", || {
+                            format!("shard={s} gen={next_gen_no}")
+                        });
+                        let snapshot = GenerationSnapshot {
+                            gen_no: next_gen_no,
+                            through_seq: through,
+                            index: next,
+                        };
+                        let mut st = shard.state.write();
+                        // Rebase: ops that arrived after the capture are
+                        // re-applied onto the new generation; the
+                        // absorbed prefix is already inside it. No epoch
+                        // bump — the live multiset is unchanged.
+                        st.delta = st.delta.rebase(&snapshot.index, snapshot.through_seq);
+                        st.gen = Arc::new(snapshot);
+                    }
+                    if let Some(d) = &self.durable {
+                        {
+                            let mut ing = shard.ingest.lock();
+                            if let Some(wal) = ing.wal.as_mut() {
+                                wal.truncate_through(through);
+                            }
+                        }
+                        d.dfs.delete(&gen_blob_path(&d.base, s, gen.gen_no));
+                    }
+                    self.state.lock().merges_completed += 1;
+                    ha_obs::add("serve.gen.published", 1);
+                    return Ok(true);
+                }
+            }
+        }
+        // Retries exhausted: degrade this shard to delta-only serving.
+        shard.state.write().merge_poisoned = true;
+        ha_obs::add("serve.gen.poisoned", 1);
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(false),
+        }
+    }
+
+    /// Answers shed work with the typed deadline error, outside any
+    /// queue lock.
+    fn reply_shed(&self, shed: Vec<Work>) {
+        if shed.is_empty() {
+            return;
+        }
+        let n = shed.len() as u64;
+        self.state.lock().deadline_shed += n;
+        ha_obs::add("serve.deadline_shed", n);
+        for w in shed {
+            w.reply_shed();
+        }
+    }
+
     fn process(&self, batch: Batch) {
         match batch {
             Batch::Select {
@@ -683,15 +1412,16 @@ impl Inner {
         &self,
         h: u32,
         codes: Vec<BinaryCode>,
-        txs: Vec<mpsc::Sender<Vec<TupleId>>>,
+        txs: Vec<mpsc::Sender<Result<Vec<TupleId>, ServiceError>>>,
     ) {
         let _batch_span =
             ha_obs::span_labeled("serve.batch", || format!("h={h} size={}", codes.len()));
         // Cache pass: answers computed at the current epoch serve
         // directly; the rest form the executed batch.
-        let mut hit_replies: Vec<(mpsc::Sender<Vec<TupleId>>, Vec<TupleId>)> = Vec::new();
+        let mut hit_replies: Vec<(mpsc::Sender<Result<Vec<TupleId>, ServiceError>>, Vec<TupleId>)> =
+            Vec::new();
         let mut miss_codes: Vec<BinaryCode> = Vec::new();
-        let mut miss_txs: Vec<mpsc::Sender<Vec<TupleId>>> = Vec::new();
+        let mut miss_txs: Vec<mpsc::Sender<Result<Vec<TupleId>, ServiceError>>> = Vec::new();
         {
             let _cache_span = ha_obs::span("serve.cache_lookup");
             let epoch = self.epoch.load(Ordering::SeqCst);
@@ -714,8 +1444,12 @@ impl Inner {
             // Hold every shard read lock for the whole batch: mutations
             // bump the epoch under a shard *write* lock, so the epoch is
             // frozen here and the answers (and the cache entries tagged
-            // with it) describe one consistent index state.
-            let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+            // with it) describe one consistent index state. Generation
+            // swaps also need the write lock, so each guard pins one
+            // coherent (generation, delta) pair — and because a swap
+            // preserves content, even a swap between this batch and the
+            // cache lookup cannot change what the answers would be.
+            let guards: Vec<_> = self.shards.iter().map(|s| s.state.read()).collect();
             let e0 = self.epoch.load(Ordering::SeqCst);
             let nshards = guards.len();
             let seq = self.batch_seq.fetch_add(1, Ordering::SeqCst);
@@ -727,7 +1461,7 @@ impl Inner {
                 let per_query = {
                     let _probe_span =
                         ha_obs::span_labeled("serve.shard_probe", || format!("shard={s}"));
-                    guards[s].batch_search(&miss_codes, h)
+                    guards[s].delta.batch_search(&guards[s].gen.index, &miss_codes, h)
                 };
                 probe_times.push((s, t0.elapsed()));
                 for (qi, ids) in per_query.into_iter().enumerate() {
@@ -778,21 +1512,27 @@ impl Inner {
         }
 
         for (tx, ids) in hit_replies {
-            let _ = tx.send(ids);
+            let _ = tx.send(Ok(ids));
         }
         for (tx, ids) in miss_txs.into_iter().zip(merged) {
-            let _ = tx.send(ids);
+            let _ = tx.send(Ok(ids));
         }
     }
 
     /// kNN by doubling-radius expansion: H-Search at growing radii until
     /// at least `k` candidates qualify (or the radius covers the whole
     /// code), then rank by `(distance, id)`. Exact distances come free
-    /// off the HA-Index path sums.
-    fn process_knn(&self, code: &BinaryCode, k: usize, tx: mpsc::Sender<Vec<(TupleId, u32)>>) {
+    /// off the HA-Index path sums; the delta overlay contributes (and
+    /// tombstones) candidates exactly like the select path.
+    fn process_knn(
+        &self,
+        code: &BinaryCode,
+        k: usize,
+        tx: mpsc::Sender<Result<Vec<(TupleId, u32)>, ServiceError>>,
+    ) {
         let _knn_span = ha_obs::span_labeled("serve.knn", || format!("k={k}"));
-        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        let total: usize = guards.iter().map(|g| g.len()).sum();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.state.read()).collect();
+        let total: usize = guards.iter().map(|g| g.delta.live_len(&g.gen.index)).sum();
         let k_eff = k.min(total);
         let mut result: Vec<(TupleId, u32)> = Vec::new();
         if k_eff > 0 {
@@ -801,7 +1541,7 @@ impl Inner {
             loop {
                 let mut cands: Vec<(TupleId, u32)> = Vec::new();
                 for g in &guards {
-                    cands.extend(g.search_with_distances(code, r));
+                    cands.extend(g.delta.search_with_distances(&g.gen.index, code, r));
                 }
                 if cands.len() >= k_eff || r >= max_r {
                     cands.sort_unstable_by_key(|&(id, d)| (d, id));
@@ -816,14 +1556,14 @@ impl Inner {
         self.state.lock().knns += 1;
         ha_obs::add("serve.knns", 1);
         ha_obs::emit(|| ha_obs::Event::ServeKnn { k });
-        let _ = tx.send(result);
+        let _ = tx.send(Ok(result));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ha_core::LinearScanIndex;
+    use ha_core::{HammingIndex, LinearScanIndex};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -892,6 +1632,97 @@ mod tests {
         assert!(!serve.delete(&fresh, 777).unwrap(), "double delete");
         assert_eq!(serve.epoch(), 2, "failed delete must not bump the epoch");
         assert_eq!(serve.len(), 50);
+    }
+
+    #[test]
+    fn single_insert_lands_in_delta_not_a_refreeze() {
+        // Regression pin for the PR 5 behavior where every mutation
+        // re-froze the whole shard (O(n)) inside the write lock: an
+        // insert must now land in the owning shard's delta, leave the
+        // generation untouched, and still be immediately visible.
+        let data = dataset(200, 16, 33);
+        let serve = HaServe::build(16, data, ServeConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        let fresh = BinaryCode::random(16, &mut rng);
+        serve.insert(fresh.clone(), 9001).unwrap();
+        let m = serve.metrics();
+        assert_eq!(m.merges_completed, 0, "no merge was triggered");
+        assert_eq!(m.merge_attempts, 0, "no freeze/H-Build ran");
+        assert_eq!(
+            m.per_shard.iter().map(|s| s.generation).max(),
+            Some(0),
+            "every shard still serves its build-time generation"
+        );
+        assert_eq!(
+            m.per_shard.iter().map(|s| s.delta_ops).sum::<usize>(),
+            1,
+            "the mutation sits in exactly one delta"
+        );
+        assert!(serve.select(&fresh, 0).unwrap().contains(&9001));
+    }
+
+    #[test]
+    fn merge_now_publishes_without_epoch_bump_and_preserves_answers() {
+        let data = dataset(150, 16, 35);
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(16, data.clone(), cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(36);
+        let mut live = data;
+        for i in 0..20u64 {
+            let c = BinaryCode::random(16, &mut rng);
+            serve.insert(c.clone(), 5000 + i).unwrap();
+            live.push((c, 5000 + i));
+        }
+        let (code0, id0) = live.remove(3);
+        assert!(serve.delete(&code0, id0).unwrap());
+        let epoch_before = serve.epoch();
+        let published = serve.merge_all_now().unwrap();
+        assert!(published >= 1, "at least one shard had a delta to absorb");
+        assert_eq!(serve.epoch(), epoch_before, "swap must not bump the epoch");
+        let m = serve.metrics();
+        assert_eq!(m.merges_completed, published as u64);
+        assert_eq!(
+            m.per_shard.iter().filter(|s| s.generation == 1).count(),
+            published,
+            "each publish advanced exactly one shard's generation"
+        );
+        assert_eq!(
+            m.per_shard.iter().map(|s| s.delta_ops).sum::<usize>(),
+            0,
+            "all deltas were absorbed"
+        );
+        assert_eq!(serve.len(), live.len());
+        for h in [0u32, 3] {
+            let q = live[7].0.clone();
+            assert_eq!(serve.select(&q, h).unwrap(), oracle(&live, &q, h));
+        }
+        // Nothing left: merging again is a no-op.
+        assert_eq!(serve.merge_all_now().unwrap(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_not_executed() {
+        let data = dataset(80, 16, 37);
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let serve = HaServe::build(16, data.clone(), cfg).unwrap();
+        let q = data[5].0.clone();
+        let doomed = serve
+            .submit_select_with_deadline(&q, 2, Duration::ZERO)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        let fine = serve.submit_select(&q, 2).unwrap();
+        serve.pump_all();
+        assert_eq!(doomed.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        assert_eq!(fine.wait().unwrap(), oracle(&data, &q, 2));
+        let m = serve.metrics();
+        assert_eq!(m.deadline_shed, 1);
+        assert_eq!(m.selects, 1, "shed work is not counted as answered");
     }
 
     #[test]
@@ -966,6 +1797,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(62);
         let q = BinaryCode::random(32, &mut rng);
         assert_eq!(serve.select(&q, 6).unwrap(), oracle(&data, &q, 6));
+    }
+
+    #[test]
+    fn durable_bootstrap_recover_round_trips() {
+        let data = dataset(90, 16, 63);
+        let dfs = Arc::new(InMemoryDfs::new());
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let mut live = data.clone();
+        let mut rng = StdRng::seed_from_u64(64);
+        {
+            let serve =
+                HaServe::bootstrap_durable(&dfs, "/srv", 16, data, cfg.clone()).unwrap();
+            for i in 0..12u64 {
+                let c = BinaryCode::random(16, &mut rng);
+                serve.insert(c.clone(), 7000 + i).unwrap();
+                live.push((c, 7000 + i));
+            }
+            let (c, id) = live.remove(20);
+            assert!(serve.delete(&c, id).unwrap());
+            assert_eq!(serve.metrics().wal_appends, 13);
+            // The service is dropped without any merge: the WAL is the
+            // only durable record of the mutations.
+        }
+        let serve = HaServe::recover(&dfs, "/srv", cfg).unwrap();
+        assert_eq!(serve.metrics().wal_replayed, 13);
+        assert_eq!(serve.len(), live.len());
+        for h in [0u32, 2] {
+            let q = live[live.len() - 3].0.clone();
+            assert_eq!(serve.select(&q, h).unwrap(), oracle(&live, &q, h));
+        }
     }
 
     #[test]

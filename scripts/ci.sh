@@ -29,6 +29,8 @@ run cargo test -q
 run cargo test -q --test mapreduce_robustness
 run cargo test -q --test storage_robustness
 run cargo test -q --test serve_concurrency
+run cargo test -q --test serve_generations
+run cargo test -q --test merge_chaos
 run cargo test -q --test observability
 run cargo test -q --test panic_audit
 run cargo test -q --test flat_equivalence

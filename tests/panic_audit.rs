@@ -40,7 +40,11 @@ use std::path::Path;
 /// - `crates/service/src/*`: zero across the board — the serving layer is
 ///   long-lived and multi-threaded, so *every* failure must be a typed
 ///   [`ServiceError`]; lock poisoning is absorbed with
-///   `unwrap_or_else(PoisonError::into_inner)` rather than unwrapped.
+///   `unwrap_or_else(PoisonError::into_inner)` rather than unwrapped. The
+///   single exception is `service.rs`'s one `panic!`: the merge fault
+///   injector's *deliberate* injected panic (the same sanctioned pattern
+///   as `job.rs`), which exists precisely to prove the merge worker's
+///   `catch_unwind` containment works.
 const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     ("crates/mapreduce/src/cache.rs", 0, 0, 0, 0),
     ("crates/mapreduce/src/checksum.rs", 0, 0, 0, 0),
@@ -51,6 +55,7 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     ("crates/mapreduce/src/metrics.rs", 0, 1, 0, 0),
     ("crates/mapreduce/src/shuffle.rs", 0, 0, 0, 0),
     ("crates/mapreduce/src/storage_fault.rs", 0, 0, 0, 0),
+    ("crates/mapreduce/src/wal.rs", 0, 0, 0, 0),
     ("crates/distributed/src/batch_select.rs", 0, 0, 1, 0),
     ("crates/distributed/src/global_index.rs", 0, 0, 1, 0),
     ("crates/distributed/src/join.rs", 0, 0, 2, 1),
@@ -63,9 +68,12 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     ("crates/distributed/src/preprocess.rs", 0, 0, 0, 0),
     ("crates/service/src/cache.rs", 0, 0, 0, 0),
     ("crates/service/src/error.rs", 0, 0, 0, 0),
+    ("crates/service/src/fault.rs", 0, 0, 0, 0),
     ("crates/service/src/lib.rs", 0, 0, 0, 0),
     ("crates/service/src/metrics.rs", 0, 0, 0, 0),
-    ("crates/service/src/service.rs", 0, 0, 0, 0),
+    // One panic: the merge fault injector's deliberate PanicMidMerge
+    // (see the doc header) — contained by the worker's catch_unwind.
+    ("crates/service/src/service.rs", 0, 0, 1, 0),
     // The frozen search snapshot sits on the hot path of every layer
     // above it (serve shards, the distributed join, the bench harness),
     // so it is held to the same zero budget as the serving layer.
@@ -74,6 +82,8 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     // distributed-join probe — same hot-path argument, same zero budget.
     ("crates/core/src/mih.rs", 0, 0, 0, 0),
     ("crates/core/src/planner.rs", 0, 0, 0, 0),
+    // The delta overlay sits on the same serve-shard hot path.
+    ("crates/core/src/delta.rs", 0, 0, 0, 0),
     ("crates/obs/src/event.rs", 0, 0, 0, 0),
     ("crates/obs/src/json.rs", 0, 0, 0, 0),
     ("crates/obs/src/lib.rs", 0, 0, 0, 0),
