@@ -1,0 +1,61 @@
+//! Cold-start microbenchmark: open an HA-Store snapshot and answer the
+//! first Hamming-select, against the legacy decode+H-Build path
+//! (DESIGN.md, "Persistent snapshot format"). The map side is the whole
+//! point of the format — `mmap + validate + search in place` should be
+//! near-constant in index size, while decode+rebuild grows linearly.
+//!
+//! Sizes span 10⁴–10⁶ codes at 64 bits (plus a 512-bit group); CI only
+//! compile-checks this harness (`cargo bench --no-run`), so the million-
+//! code group costs nothing there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ha_core::testkit::clustered_dataset;
+use ha_core::{DhaConfig, DynamicHaIndex, HammingIndex, MappedIndex};
+
+const H: u32 = 3;
+
+fn bench_cold_open(c: &mut Criterion) {
+    for (code_len, sizes, seed) in [
+        (64usize, &[10_000usize, 100_000, 1_000_000][..], 12_000u64),
+        (512, &[10_000, 100_000][..], 12_010),
+    ] {
+        let mut group = c.benchmark_group(format!("store_open_{code_len}bit"));
+        for &n in sizes {
+            let data = clustered_dataset(n, code_len, 24, 4, seed);
+            let query = data[n / 2].0.clone();
+            let mut dha = DynamicHaIndex::build(data);
+            dha.freeze();
+
+            let dir = std::env::temp_dir();
+            let store_path = dir.join(format!("ha-store-bench-{code_len}-{n}.has"));
+            let legacy_path = dir.join(format!("ha-store-bench-{code_len}-{n}.haix"));
+            std::fs::write(&store_path, dha.flat().expect("frozen").store_bytes())
+                .expect("write store");
+            std::fs::write(&legacy_path, dha.to_bytes()).expect("write legacy");
+            drop(dha);
+
+            group.bench_function(BenchmarkId::new("decode+query", n), |b| {
+                b.iter(|| {
+                    let blob = std::fs::read(&legacy_path).expect("read");
+                    let mut idx =
+                        DynamicHaIndex::from_bytes(&blob, DhaConfig::default()).expect("decode");
+                    idx.freeze();
+                    std::hint::black_box(idx.search(&query, H))
+                })
+            });
+            group.bench_function(BenchmarkId::new("map+query", n), |b| {
+                b.iter(|| {
+                    let m = MappedIndex::open_file(&store_path).expect("map");
+                    std::hint::black_box(m.search(&query, H))
+                })
+            });
+
+            std::fs::remove_file(&store_path).ok();
+            std::fs::remove_file(&legacy_path).ok();
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cold_open);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ pub mod fig8;
 pub mod flat;
 pub mod planner;
 pub mod serve;
+pub mod store;
 pub mod table3;
 pub mod table4;
 pub mod table5;

@@ -1,0 +1,101 @@
+//! The `store` experiment — cold-open-to-first-query (no counterpart in
+//! the paper, which rebuilds its index per MapReduce job; see DESIGN.md,
+//! "Persistent snapshot format").
+//!
+//! A restarted server has one number that matters: how long from process
+//! start until the first exact answer. The legacy durable path pays
+//! `read + decode every node + H-Build the flat layout` before it can
+//! search; HA-Store pays `mmap + validate` and searches the file in
+//! place. One table, 64-bit and 512-bit clustered snapshots (the 64-bit
+//! group at a million codes is the acceptance workload):
+//!
+//! * decode→query: read the legacy arena blob, `from_bytes`, freeze,
+//!   first Hamming-select;
+//! * map→query: `MappedIndex::open_file` (mmap + checksum + structural
+//!   validation), same first select;
+//! * the `identical` column proves both answers (and the in-memory
+//!   index's) are the same id set — exactness is never traded for the
+//!   speedup.
+
+use std::fs;
+
+use ha_core::testkit::clustered_dataset;
+use ha_core::{DhaConfig, DynamicHaIndex, HammingIndex, MappedIndex};
+
+use crate::{fmt_bytes, fmt_duration, print_table, time, Scale};
+
+const H: u32 = 3;
+
+/// Runs the cold-start comparison.
+pub fn run(scale: &Scale) {
+    let mut rows = Vec::new();
+    for (code_len, base_n, clusters, spread, seed) in
+        [(64usize, 1_000_000usize, 48usize, 4usize, 9400u64), (512, 120_000, 24, 8, 9410)]
+    {
+        let n = scale.n(base_n);
+        let data = clustered_dataset(n, code_len, clusters, spread, seed);
+        let query = data[n / 2].0.clone();
+
+        let mut dha = DynamicHaIndex::build(data);
+        dha.freeze();
+        let legacy_blob = dha.to_bytes();
+        let store_blob = dha.flat().expect("frozen").store_bytes();
+        let mut want = dha.search(&query, H);
+        want.sort_unstable();
+        drop(dha); // cold start means no warm index in memory
+
+        let dir = std::env::temp_dir();
+        let store_path = dir.join(format!("ha-store-exp-{code_len}-{n}.has"));
+        let legacy_path = dir.join(format!("ha-store-exp-{code_len}-{n}.haix"));
+        let (legacy_len, store_len) = (legacy_blob.len(), store_blob.len());
+        fs::write(&legacy_path, legacy_blob).expect("write legacy blob");
+        fs::write(&store_path, store_blob).expect("write store blob");
+
+        let (mut got_decode, t_decode) = time(|| {
+            let blob = fs::read(&legacy_path).expect("read blob");
+            let mut idx =
+                DynamicHaIndex::from_bytes(&blob, DhaConfig::default()).expect("decode");
+            idx.freeze(); // the legacy recover path re-runs H-Build too
+            idx.search(&query, H)
+        });
+        got_decode.sort_unstable();
+
+        let (mapped, t_map) = time(|| {
+            let m = MappedIndex::open_file(&store_path).expect("map");
+            let hits = m.search(&query, H);
+            (m.is_mapped(), hits)
+        });
+        let (is_mapped, got_mapped) = mapped;
+
+        fs::remove_file(&store_path).ok();
+        fs::remove_file(&legacy_path).ok();
+
+        let identical = got_decode == want && got_mapped == want;
+        rows.push(vec![
+            format!("{code_len}"),
+            format!("{n}"),
+            fmt_bytes(legacy_len),
+            fmt_bytes(store_len),
+            fmt_duration(t_decode),
+            fmt_duration(t_map),
+            format!("{:.1}x", t_decode.as_secs_f64() / t_map.as_secs_f64().max(1e-12)),
+            if is_mapped { "yes" } else { "no" }.to_string(),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print_table(
+        "HA-Store: cold open to first exact answer, decode+H-Build vs mmap (clustered data)",
+        &[
+            "bits",
+            "n",
+            "legacy blob",
+            "store file",
+            "decode\u{2192}query",
+            "map\u{2192}query",
+            "speedup",
+            "mmap",
+            "identical",
+        ],
+        &rows,
+    );
+}

@@ -42,6 +42,7 @@
 pub mod chunk;
 mod code;
 mod error;
+pub mod fnv;
 pub mod gray;
 mod masked;
 pub mod segment;

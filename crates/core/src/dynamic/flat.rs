@@ -25,8 +25,18 @@
 //! snapshot only while the epochs still agree, falling back to the arena
 //! BFS (the oracle) after any mutation. Traversal order is identical to the
 //! arena BFS, so results are byte-for-byte the same, not merely set-equal.
+//!
+//! Since HA-Store, the traversal itself lives in `ha-store`'s
+//! [`FlatStoreView`] — the same arrays, borrowed — and this type is the
+//! *owner* of those arrays plus the arena-only extras (the `parent` array
+//! for trace rendering, the epoch gate). `search`/`batch_search`/… simply
+//! wrap the owned vectors in a view and delegate, which is what guarantees
+//! an `mmap`-ed snapshot answers byte-for-byte like a frozen one: both run
+//! the identical code. [`FlatHaIndex::store_bytes`] serializes the arrays
+//! into the persistent HA-Store format.
 
 use ha_bitcode::{masked_distance_many, BinaryCode, MaskedCode};
+use ha_store::{FlatParts, FlatStoreView, Scratch};
 
 use super::search::{TraceEvent, TraceStep};
 use super::{DynamicHaIndex, NodeId};
@@ -62,23 +72,17 @@ pub struct FlatHaIndex {
     planes: Vec<u64>,
     /// Per node: index into the leaf arrays, or `NONE` for internal nodes.
     leaf_slot: Vec<u32>,
-    /// Distinct full codes of the leaves, by leaf slot.
-    leaf_codes: Vec<BinaryCode>,
+    /// Distinct full codes of the leaves as `words`-word rows, by leaf
+    /// slot (`leaf_code_words[slot * words .. (slot + 1) * words]`).
+    leaf_code_words: Vec<u64>,
+    /// Leaf slots ordered by code row, lexicographically ascending — the
+    /// point-lookup directory HA-Store binary-searches. (Bit 0 is the MSB
+    /// of word 0, so word-row order *is* bit-string order.)
+    leaf_sorted: Vec<u32>,
     /// CSR offsets into `leaf_ids`, by leaf slot.
     leaf_ids_start: Vec<u32>,
     /// Tuple ids of every leaf, concatenated.
     leaf_ids: Vec<TupleId>,
-}
-
-/// Reusable traversal buffers: two swapped level-synchronous frontiers plus
-/// the per-group distance accumulators handed to the batch kernel. One
-/// `Scratch` serves a whole `batch_search` call, so per-query allocations
-/// disappear once the high-water mark is reached.
-#[derive(Default)]
-struct Scratch {
-    frontier: Vec<(u32, u32)>,
-    next: Vec<(u32, u32)>,
-    dist: Vec<u32>,
 }
 
 /// Appends one sibling group's patterns to `planes` in word-plane order.
@@ -116,7 +120,8 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
     let mut children: Vec<u32> = Vec::new();
     let mut parent: Vec<u32> = vec![NONE; root_count];
     let mut leaf_slot: Vec<u32> = Vec::new();
-    let mut leaf_codes: Vec<BinaryCode> = Vec::new();
+    let mut leaf_count = 0u32;
+    let mut leaf_code_words: Vec<u64> = Vec::new();
     let mut leaf_ids_start: Vec<u32> = vec![0];
     let mut leaf_ids: Vec<TupleId> = Vec::new();
 
@@ -124,8 +129,9 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
     while at < order.len() {
         let node = &idx.nodes[order[at] as usize];
         if let Some(leaf) = &node.leaf {
-            leaf_slot.push(leaf_codes.len() as u32);
-            leaf_codes.push(leaf.code.clone());
+            leaf_slot.push(leaf_count);
+            leaf_count += 1;
+            leaf_code_words.extend_from_slice(leaf.code.words());
             leaf_ids.extend_from_slice(&leaf.ids);
             leaf_ids_start.push(leaf_ids.len() as u32);
         } else {
@@ -141,6 +147,16 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
         at += 1;
     }
 
+    // Sorted leaf directory: slots ordered by code row. Codes are distinct
+    // (one leaf per code by construction), so the order is strict — the
+    // property HA-Store's validator re-checks on open.
+    let mut leaf_sorted: Vec<u32> = (0..leaf_count).collect();
+    leaf_sorted.sort_unstable_by(|&a, &b| {
+        let ra = &leaf_code_words[a as usize * words..(a as usize + 1) * words];
+        let rb = &leaf_code_words[b as usize * words..(b as usize + 1) * words];
+        ra.cmp(rb)
+    });
+
     FlatHaIndex {
         code_len,
         words,
@@ -152,7 +168,8 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
         parent,
         planes,
         leaf_slot,
-        leaf_codes,
+        leaf_code_words,
+        leaf_sorted,
         leaf_ids_start,
         leaf_ids,
     }
@@ -191,10 +208,49 @@ impl FlatHaIndex {
             + vec_bytes(&self.parent)
             + vec_bytes(&self.planes)
             + vec_bytes(&self.leaf_slot)
-            + vec_bytes(&self.leaf_codes)
+            + vec_bytes(&self.leaf_code_words)
+            + vec_bytes(&self.leaf_sorted)
             + vec_bytes(&self.leaf_ids_start)
             + vec_bytes(&self.leaf_ids)
-            + self.leaf_codes.iter().map(|c| c.heap_bytes()).sum::<usize>()
+    }
+
+    /// The snapshot's arrays as borrowed [`FlatParts`] — valid by
+    /// construction (`compile` *is* the invariant builder), so views over
+    /// them skip re-validation.
+    fn parts(&self) -> FlatParts<'_> {
+        FlatParts {
+            code_len: self.code_len,
+            words: self.words,
+            root_count: self.root_count as usize,
+            tuple_count: self.len,
+            epoch: self.epoch,
+            child_start: &self.child_start,
+            children: &self.children,
+            planes: &self.planes,
+            leaf_slot: &self.leaf_slot,
+            leaf_code_words: &self.leaf_code_words,
+            leaf_ids_start: &self.leaf_ids_start,
+            leaf_ids: &self.leaf_ids,
+            leaf_sorted: &self.leaf_sorted,
+        }
+    }
+
+    /// Zero-copy search view over the owned arrays — the same type an
+    /// `mmap`-ed HA-Store snapshot hands out.
+    pub fn view(&self) -> FlatStoreView<'_> {
+        FlatStoreView::from_parts_unchecked(self.parts())
+    }
+
+    /// Serializes the snapshot into the persistent HA-Store v1 format
+    /// (see `ha_store::store_bytes`).
+    pub fn store_bytes(&self) -> Vec<u8> {
+        ha_store::store_bytes(&self.parts())
+    }
+
+    /// Exact point lookup over the sorted leaf directory: ids stored under
+    /// `code`, or an empty slice.
+    pub fn ids_for_code(&self, code: &BinaryCode) -> &[TupleId] {
+        self.view().ids_for_code(code)
     }
 
     /// Tuple ids of leaf slot `slot`.
@@ -215,100 +271,25 @@ impl FlatHaIndex {
         (&self.planes[base..base + 2 * self.words * g], g, lo)
     }
 
-    /// Core level-synchronous traversal over the flat layout. Calls `emit`
-    /// for each qualifying leaf (flat id + exact distance) in the same
-    /// order the arena BFS would.
-    fn run(
-        &self,
-        query: &BinaryCode,
-        h: u32,
-        scratch: &mut Scratch,
-        emit: &mut impl FnMut(u32, u32),
-    ) {
-        assert_eq!(query.len(), self.code_len, "query length mismatch");
-        let rc = self.root_count as usize;
-        if rc == 0 {
-            return;
-        }
-        let qw = query.words();
-        let w = self.words;
-        let Scratch { frontier, next, dist } = scratch;
-        frontier.clear();
-
-        // Top level: one kernel call over the root group.
-        dist.clear();
-        dist.resize(rc, 0);
-        masked_distance_many(qw, &self.planes[..2 * w * rc], rc, h, dist);
-        for v in 0..rc {
-            let d = dist[v];
-            if d <= h {
-                if self.leaf_slot[v] != NONE {
-                    emit(v as u32, d);
-                } else {
-                    frontier.push((v as u32, d));
-                }
-            }
-        }
-
-        // Descend level by level; each internal survivor scans its child
-        // group with one kernel call seeded at the parent's accumulator.
-        while !frontier.is_empty() {
-            next.clear();
-            for i in 0..frontier.len() {
-                let (p, acc) = frontier[i];
-                let (planes, g, lo) = self.child_group(p);
-                dist.clear();
-                dist.resize(g, acc);
-                masked_distance_many(qw, planes, g, h, dist);
-                for s in 0..g {
-                    let d = dist[s];
-                    if d <= h {
-                        let v = self.children[lo + s];
-                        if self.leaf_slot[v as usize] != NONE {
-                            emit(v, d);
-                        } else {
-                            next.push((v, d));
-                        }
-                    }
-                }
-            }
-            std::mem::swap(frontier, next);
-        }
+    /// Leaf slot `slot`'s code as a word row.
+    #[inline]
+    fn leaf_row(&self, slot: usize) -> &[u64] {
+        &self.leaf_code_words[slot * self.words..(slot + 1) * self.words]
     }
 
     /// H-Search over the frozen layout (requires `keep_leaf_ids`).
     pub fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
-        let mut out = Vec::new();
-        let mut scratch = Scratch::default();
-        self.run(query, h, &mut scratch, &mut |v, _| {
-            out.extend_from_slice(self.ids_of(self.leaf_slot[v as usize]));
-        });
-        out
+        self.view().search(query, h)
     }
 
     /// H-Search returning `(id, exact distance)` pairs.
     pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
-        let mut out = Vec::new();
-        let mut scratch = Scratch::default();
-        self.run(query, h, &mut scratch, &mut |v, d| {
-            out.extend(
-                self.ids_of(self.leaf_slot[v as usize])
-                    .iter()
-                    .map(|&id| (id, d)),
-            );
-        });
-        out
+        self.view().search_with_distances(query, h)
     }
 
     /// H-Search returning distinct qualifying codes with exact distances.
     pub fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
-        let mut out = Vec::new();
-        let mut scratch = Scratch::default();
-        self.run(query, h, &mut scratch, &mut |v, d| {
-            let slot = self.leaf_slot[v as usize] as usize;
-            out.push((self.leaf_codes[slot].clone(), d));
-        });
-        out
+        self.view().search_codes(query, h)
     }
 
     /// Batched H-Search: one solo flat traversal per query, sharing the
@@ -316,12 +297,11 @@ impl FlatHaIndex {
     /// nothing per query. (PR 3's serve bench showed raw per-query CPU, not
     /// traversal sharing, bounds throughput once locks are amortized.)
     pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        let view = self.view();
         let mut out: Vec<Vec<TupleId>> = vec![Vec::new(); queries.len()];
         let mut scratch = Scratch::default();
         for (slot, query) in out.iter_mut().zip(queries) {
-            self.run(query, h, &mut scratch, &mut |v, _| {
-                slot.extend_from_slice(self.ids_of(self.leaf_slot[v as usize]));
-            });
+            view.search_into(query, h, &mut scratch, slot);
         }
         out
     }
@@ -387,7 +367,8 @@ impl FlatHaIndex {
                 let slot = self.leaf_slot[v as usize];
                 let ids = self.ids_of(slot).to_vec();
                 events.push(TraceEvent::Reported {
-                    code: self.leaf_codes[slot as usize].to_string(),
+                    code: BinaryCode::from_words(self.leaf_row(slot as usize), self.code_len)
+                        .to_string(),
                     distance: d,
                     ids: ids.clone(),
                 });

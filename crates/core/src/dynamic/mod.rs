@@ -343,6 +343,14 @@ impl DynamicHaIndex {
         self.flat.as_ref().expect("snapshot just installed")
     }
 
+    /// Freezes (if stale) and serializes the flat snapshot into the
+    /// persistent HA-Store wire format — the durable blob generational
+    /// serving publishes, re-openable zero-copy via
+    /// `ha_store::HaStore::open_bytes` / `open_file` with no decode step.
+    pub fn write_store(&mut self) -> Vec<u8> {
+        self.freeze().store_bytes()
+    }
+
     /// Drops the frozen snapshot (if any), forcing searches back onto the
     /// arena BFS and releasing the snapshot's memory.
     pub fn thaw(&mut self) {

@@ -30,6 +30,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use ha_bitcode::fnv::fnv64;
 use ha_bitcode::{BinaryCode, MaskedCode};
 
 use super::node::{LeafData, Node, NodeId};
@@ -76,18 +77,6 @@ impl fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
-
-/// FNV-1a 64-bit over raw bytes — the blob's integrity footer. Kept
-/// in-house (and deliberately tiny) so ha-core stays dependency-free;
-/// the DFS block checksums in ha-mapreduce use the same function.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 struct Writer {
     buf: Vec<u8>,

@@ -32,6 +32,7 @@
 
 pub mod delta;
 pub mod dynamic;
+pub mod mapped;
 mod hengine;
 mod hmsearch;
 mod linear;
@@ -44,7 +45,8 @@ pub mod select;
 mod static_ha;
 pub mod testkit;
 
-pub use delta::{DeltaIndex, DeltaOp};
+pub use delta::{DeltaBase, DeltaIndex, DeltaOp};
+pub use mapped::MappedIndex;
 pub use dynamic::{DhaConfig, DynamicHaIndex, FlatHaIndex};
 pub use hengine::HEngine;
 pub use hmsearch::HmSearch;

@@ -425,6 +425,13 @@ impl PlannedIndex {
         &self.dha
     }
 
+    /// Serializes the frozen flat snapshot into the persistent HA-Store
+    /// format, if one is current (`build`/`build_with` freeze, so this is
+    /// `Some` unless a mutation has landed since).
+    pub fn store_bytes(&self) -> Option<Vec<u8>> {
+        self.dha.flat().map(crate::FlatHaIndex::store_bytes)
+    }
+
     /// The inner MIH index (read-only).
     pub fn mih(&self) -> &MihIndex {
         &self.mih

@@ -13,52 +13,13 @@
 //! (`VecTuple = (Vec<f64>, u64)`), which has no `Hash` impl; floats are
 //! digested via [`f64::to_bits`].
 
-/// FNV-1a, 64-bit. Small, dependency-free, and good enough to detect the
-/// single-replica corruptions the storage-fault plans inject (this is an
-/// integrity check against simulated bit rot, not an adversary).
-#[derive(Clone, Debug)]
-pub struct Fnv64(u64);
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-impl Fnv64 {
-    /// Fresh hasher at the FNV-1a offset basis.
-    pub fn new() -> Self {
-        Fnv64(FNV_OFFSET)
-    }
-
-    /// Digests raw bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// Digests a `u64` (little-endian).
-    pub fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    /// The digest so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Fnv64::new()
-    }
-}
-
-/// One-shot digest of a byte slice.
-pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = Fnv64::new();
-    h.write(bytes);
-    h.finish()
-}
+// The hash itself lives in `ha_bitcode::fnv` — one shared FNV-1a that
+// the DFS block checksums, the WAL frame checksums, the HAIX wire
+// format, and the HA-Store snapshot footer all agree on (a snapshot
+// written by one layer is verified by another, so the implementations
+// must not be allowed to drift). Re-exported here so every existing
+// `crate::checksum::fnv64` call site keeps compiling unchanged.
+pub use ha_bitcode::fnv::{fnv64, Fnv64};
 
 /// Types with a canonical byte encoding the DFS can checksum.
 ///

@@ -6,6 +6,7 @@ use std::fmt;
 
 use ha_core::dynamic::DecodeError;
 use ha_mapreduce::DfsError;
+use ha_store::StoreError;
 
 /// Why a serving operation failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +36,10 @@ pub enum ServiceError {
     /// The index blob was read but failed wire-format decoding (bad
     /// magic, truncation, checksum mismatch, or structural corruption).
     Decode(DecodeError),
+    /// The generation blob carried the HA-Store magic but the snapshot
+    /// was rejected by the store validator (truncation, checksum
+    /// mismatch, or structural corruption of a mapped section).
+    Store(StoreError),
     /// The request's deadline expired before a worker reached it; the
     /// work was shed at dequeue instead of executed. The answer would
     /// have arrived too late to be useful, so no search was run.
@@ -60,6 +65,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Storage(e) => write!(f, "index load failed: {e}"),
             ServiceError::Decode(e) => write!(f, "index blob rejected: {e}"),
+            ServiceError::Store(e) => write!(f, "store snapshot rejected: {e}"),
             ServiceError::DeadlineExceeded => {
                 write!(f, "deadline exceeded: request shed before execution")
             }
@@ -75,6 +81,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Storage(e) => Some(e),
             ServiceError::Decode(e) => Some(e),
+            ServiceError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -92,6 +99,12 @@ impl From<DecodeError> for ServiceError {
     }
 }
 
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +119,11 @@ mod tests {
         let e: ServiceError = DecodeError::BadMagic.into();
         assert!(matches!(e, ServiceError::Decode(DecodeError::BadMagic)));
         assert!(e.to_string().contains("magic"));
+        let e: ServiceError = StoreError::BadMagic.into();
+        assert!(matches!(e, ServiceError::Store(StoreError::BadMagic)));
+        assert!(e.to_string().contains("store snapshot"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

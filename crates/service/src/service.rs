@@ -62,9 +62,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ha_bitcode::BinaryCode;
-use ha_core::delta::{DeltaIndex, DeltaOp};
+use ha_core::delta::{DeltaBase, DeltaIndex, DeltaOp};
 use ha_core::planner::{PlanConfig, PlannedIndex};
-use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, TupleId};
+use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, MappedIndex, TupleId};
 use ha_mapreduce::checksum::fnv64;
 use ha_mapreduce::wal::{DfsWal, WalError};
 use ha_mapreduce::{DfsError, InMemoryDfs};
@@ -153,6 +153,15 @@ fn gen_blob_path(base: &str, shard: usize, gen_no: u64) -> String {
 fn manifest_path(base: &str, shard: usize) -> String {
     format!("{base}/gen/shard{shard}/CURRENT")
 }
+
+/// The durable form of a generation: the HA-Store snapshot, which
+/// [`HaServe::recover`] serves in place with no decode. A planned index
+/// is frozen right after construction, so the snapshot is always
+/// available; the legacy arena encoding remains as a defensive fallback
+/// (and keeps pre-store blobs loadable).
+fn gen_store_blob(index: &PlannedIndex) -> Vec<u8> {
+    index.store_bytes().unwrap_or_else(|| index.dha().to_bytes())
+}
 fn meta_path(base: &str) -> String {
     format!("{base}/META")
 }
@@ -191,6 +200,80 @@ fn decode_op(bytes: &[u8], code_len: usize) -> Option<DeltaOp> {
     }
 }
 
+/// The two physical forms a shard generation can take. Both answer in
+/// the same canonical orders (see [`DeltaBase`]), so readers and the
+/// delta overlay never notice which one is underneath.
+///
+/// * `Planned` — the fully built form: arena + flat layout + measured
+///   query planner. Produced by bootstrap builds and background merges.
+/// * `Mapped` — a validated HA-Store snapshot served in place with no
+///   decode and no H-Build. Produced by [`HaServe::recover`] so a
+///   restarted service answers its first query at `mmap` cost; the next
+///   merge that absorbs a delta upgrades the shard back to `Planned`.
+enum GenIndex {
+    Planned(PlannedIndex),
+    Mapped(MappedIndex),
+}
+
+impl DeltaBase for GenIndex {
+    fn len(&self) -> usize {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::len(p),
+            GenIndex::Mapped(m) => DeltaBase::len(m),
+        }
+    }
+    fn code_len(&self) -> usize {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::code_len(p),
+            GenIndex::Mapped(m) => DeltaBase::code_len(m),
+        }
+    }
+    fn search(&self, query: &BinaryCode, h: u32) -> Vec<TupleId> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::search(p, query, h),
+            GenIndex::Mapped(m) => DeltaBase::search(m, query, h),
+        }
+    }
+    fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::batch_search(p, queries, h),
+            GenIndex::Mapped(m) => DeltaBase::batch_search(m, queries, h),
+        }
+    }
+    fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(TupleId, u32)> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::search_with_distances(p, query, h),
+            GenIndex::Mapped(m) => DeltaBase::search_with_distances(m, query, h),
+        }
+    }
+    fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::search_codes(p, query, h),
+            GenIndex::Mapped(m) => DeltaBase::search_codes(m, query, h),
+        }
+    }
+    fn ids_for_code(&self, code: &BinaryCode) -> Vec<TupleId> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::ids_for_code(p, code),
+            GenIndex::Mapped(m) => DeltaBase::ids_for_code(m, code),
+        }
+    }
+    fn items_vec(&self) -> Vec<(BinaryCode, TupleId)> {
+        match self {
+            GenIndex::Planned(p) => DeltaBase::items_vec(p),
+            GenIndex::Mapped(m) => DeltaBase::items_vec(m),
+        }
+    }
+}
+
+impl GenIndex {
+    /// True when this generation is served straight off a mapped (or
+    /// owned-buffer) HA-Store snapshot rather than a built index.
+    fn is_mapped(&self) -> bool {
+        matches!(self, GenIndex::Mapped(_))
+    }
+}
+
 /// One published, immutable generation of a shard. Readers hold it via
 /// `Arc` clone; the merge worker replaces the pointer atomically under
 /// the shard's write lock.
@@ -200,7 +283,7 @@ struct GenerationSnapshot {
     /// Highest WAL/delta sequence number this generation has absorbed.
     through_seq: u64,
     /// The frozen index answering for everything `<= through_seq`.
-    index: PlannedIndex,
+    index: GenIndex,
 }
 
 /// The swappable read state of one shard.
@@ -534,7 +617,7 @@ impl HaServe {
         let mut shards = Vec::with_capacity(nshards);
         for (s, p) in parts.into_iter().enumerate() {
             let index = PlannedIndex::build_with(code_len, p, plan_config(&cfg));
-            dfs.try_put_with_blocks(&gen_blob_path(&base, s, 0), index.dha().to_bytes(), usize::MAX, 1)?;
+            dfs.try_put_with_blocks(&gen_blob_path(&base, s, 0), gen_store_blob(&index), usize::MAX, 1)?;
             dfs.try_put_with_blocks(&manifest_path(&base, s), vec![(0u64, 0u64)], usize::MAX, 16)?;
             let wal = DfsWal::open(Arc::clone(dfs), &wal_path(&base, s));
             shards.push(fresh_shard(index, 0, 0, Some(wal)));
@@ -581,9 +664,18 @@ impl HaServe {
                 }));
             };
             let blob: Vec<u8> = dfs.try_get(&gen_blob_path(&base, s, gen_no))?;
-            let dha = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone())?;
-            let items: Vec<(BinaryCode, TupleId)> = dha.items().collect();
-            let index = PlannedIndex::build_with(code_len, items, plan_config(&cfg));
+            // HA-Store snapshots (the format every generation is
+            // persisted in since the store landed) are validated once and
+            // served in place — no per-node decode, no H-Build. Blobs in
+            // the legacy arena encoding fall back to the old
+            // decode-and-rebuild path.
+            let index = if blob.starts_with(&ha_store::MAGIC) {
+                GenIndex::Mapped(MappedIndex::open_bytes(blob)?)
+            } else {
+                let dha = DynamicHaIndex::from_bytes(&blob, cfg.dha.clone())?;
+                let items: Vec<(BinaryCode, TupleId)> = dha.items().collect();
+                GenIndex::Planned(PlannedIndex::build_with(code_len, items, plan_config(&cfg)))
+            };
             let mut wal = DfsWal::open(Arc::clone(dfs), &wal_path(&base, s));
             wal.skip_to(through_seq + 1);
             let mut delta = DeltaIndex::new();
@@ -976,7 +1068,7 @@ impl HaServe {
 
     /// Snapshot of the serving counters.
     pub fn metrics(&self) -> ServeMetrics {
-        let shard_views: Vec<(usize, u64, usize, bool)> = self
+        let shard_views: Vec<(usize, u64, usize, bool, bool)> = self
             .inner
             .shards
             .iter()
@@ -987,6 +1079,7 @@ impl HaServe {
                     st.gen.gen_no,
                     st.delta.ops_len(),
                     st.merge_poisoned,
+                    st.gen.index.is_mapped(),
                 )
             })
             .collect();
@@ -997,7 +1090,10 @@ impl HaServe {
             .zip(st.shard_searches.iter())
             .zip(st.shard_latency.iter())
             .map(
-                |(((items, generation, delta_ops, merge_poisoned), &searches), latency)| {
+                |(
+                    ((items, generation, delta_ops, merge_poisoned, mapped_generation), &searches),
+                    latency,
+                )| {
                     ShardMetrics {
                         searches,
                         items,
@@ -1005,6 +1101,7 @@ impl HaServe {
                         generation,
                         delta_ops,
                         merge_poisoned,
+                        mapped_generation,
                     }
                 },
             )
@@ -1071,7 +1168,7 @@ fn fresh_shard(index: PlannedIndex, gen_no: u64, through_seq: u64, wal: Option<D
             gen: Arc::new(GenerationSnapshot {
                 gen_no,
                 through_seq,
-                index,
+                index: GenIndex::Planned(index),
             }),
             delta: DeltaIndex::new(),
             merge_poisoned: false,
@@ -1305,7 +1402,7 @@ impl Inner {
                     // replays over the old generation instead.
                     let blob_path = gen_blob_path(&d.base, s, next_gen_no);
                     d.dfs
-                        .try_put_with_blocks(&blob_path, next.dha().to_bytes(), usize::MAX, 1)?;
+                        .try_put_with_blocks(&blob_path, gen_store_blob(&next), usize::MAX, 1)?;
                     d.dfs.try_put_with_blocks(
                         &manifest_path(&d.base, s),
                         vec![(next_gen_no, through)],
@@ -1333,10 +1430,14 @@ impl Inner {
                         let _swap_span = ha_obs::span_labeled("serve.gen.swap", || {
                             format!("shard={s} gen={next_gen_no}")
                         });
+                        // A merge always publishes the fully planned
+                        // form — this is also the upgrade path that
+                        // turns a recovered `Mapped` generation back
+                        // into a `Planned` one.
                         let snapshot = GenerationSnapshot {
                             gen_no: next_gen_no,
                             through_seq: through,
-                            index: next,
+                            index: GenIndex::Planned(next),
                         };
                         let mut st = shard.state.write();
                         // Rebase: ops that arrived after the capture are
@@ -1830,6 +1931,90 @@ mod tests {
             let q = live[live.len() - 3].0.clone();
             assert_eq!(serve.select(&q, h).unwrap(), oracle(&live, &q, h));
         }
+    }
+
+    #[test]
+    fn recover_serves_mapped_generations_and_merge_upgrades() {
+        let data = dataset(120, 16, 65);
+        let dfs = Arc::new(InMemoryDfs::new());
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        drop(HaServe::bootstrap_durable(&dfs, "/srv", 16, data.clone(), cfg.clone()).unwrap());
+        let serve = HaServe::recover(&dfs, "/srv", cfg).unwrap();
+        // Generation blobs are HA-Store snapshots, so recovery serves
+        // every shard straight off the mapped form: no decode, no
+        // H-Build — and answers are still exact.
+        assert!(
+            serve.metrics().per_shard.iter().all(|s| s.mapped_generation),
+            "recover must map store-format blobs, not rebuild them"
+        );
+        let mut rng = StdRng::seed_from_u64(67);
+        for h in [0u32, 2, 5] {
+            let q = BinaryCode::random(16, &mut rng);
+            assert_eq!(serve.select(&q, h).unwrap(), oracle(&data, &q, h), "h={h}");
+        }
+        // kNN and mutations work over a mapped generation too.
+        assert_eq!(serve.knn(&data[3].0, 1).unwrap()[0].1, 0);
+        let fresh = BinaryCode::random(16, &mut rng);
+        serve.insert(fresh.clone(), 9999).unwrap();
+        assert!(serve.select(&fresh, 0).unwrap().contains(&9999));
+        // The next merge materializes the mapped items and publishes a
+        // planned generation — the upgrade path back to full service.
+        let s = serve.shard_of(&fresh);
+        assert!(serve.merge_now(s).unwrap());
+        let m = serve.metrics();
+        assert!(!m.per_shard[s].mapped_generation, "merge upgrades to planned");
+        assert_eq!(m.per_shard[s].generation, 1);
+        assert!(serve.select(&fresh, 0).unwrap().contains(&9999));
+        assert_eq!(serve.len(), data.len() + 1);
+    }
+
+    #[test]
+    fn legacy_blob_recovers_via_decode_fallback() {
+        let data = dataset(60, 16, 66);
+        let dfs = Arc::new(InMemoryDfs::new());
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        drop(HaServe::bootstrap_durable(&dfs, "/srv", 16, data.clone(), cfg.clone()).unwrap());
+        // Rewrite every generation blob in the pre-store arena encoding,
+        // as a service from before the HA-Store format would have left.
+        let parts = partition(16, data.clone(), &cfg).unwrap();
+        for (s, p) in parts.into_iter().enumerate() {
+            let legacy = DynamicHaIndex::build(p).to_bytes();
+            dfs.try_put_with_blocks(&gen_blob_path("/srv", s, 0), legacy, usize::MAX, 1)
+                .unwrap();
+        }
+        let serve = HaServe::recover(&dfs, "/srv", cfg).unwrap();
+        assert!(
+            serve.metrics().per_shard.iter().all(|s| !s.mapped_generation),
+            "legacy blobs take the decode-and-rebuild path"
+        );
+        let q = data[5].0.clone();
+        assert_eq!(serve.select(&q, 2).unwrap(), oracle(&data, &q, 2));
+    }
+
+    #[test]
+    fn corrupt_store_blob_recovers_with_store_error() {
+        let data = dataset(50, 16, 68);
+        let dfs = Arc::new(InMemoryDfs::new());
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        drop(HaServe::bootstrap_durable(&dfs, "/srv", 16, data, cfg.clone()).unwrap());
+        // Flip one byte inside shard 0's snapshot: recovery must surface
+        // a typed store rejection, never serve corrupt answers.
+        let mut blob: Vec<u8> = dfs.try_get(&gen_blob_path("/srv", 0, 0)).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x10;
+        dfs.try_put_with_blocks(&gen_blob_path("/srv", 0, 0), blob, usize::MAX, 1)
+            .unwrap();
+        let err = HaServe::recover(&dfs, "/srv", cfg).unwrap_err();
+        assert!(matches!(err, ServiceError::Store(_)), "got {err:?}");
     }
 
     #[test]

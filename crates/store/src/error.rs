@@ -1,0 +1,72 @@
+//! Typed failure modes of the HA-Store open path.
+//!
+//! Opening a snapshot must never panic and never hand back a view that
+//! answers wrongly: every way a file can be damaged — truncation, bit
+//! rot, a foreign or future format, a section table pointing outside the
+//! file — maps to exactly one variant here. The corruption test suite
+//! (`tests/store_corruption.rs`) flips and truncates bytes at random and
+//! asserts that *every* mutation surfaces as a `StoreError`.
+
+use std::fmt;
+
+/// Failure opening or validating an HA-Store snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Input ends before the fixed header + section table + footer fit.
+    Truncated,
+    /// Input does not start with the `HASTORE1` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u16),
+    /// The endianness tag does not decode to the expected constant: the
+    /// file was written on (or mangled into) a byte order this build
+    /// cannot reinterpret zero-copy.
+    EndianMismatch,
+    /// The FNV-1a footer does not match the file body — the snapshot was
+    /// corrupted at rest or in transit.
+    ChecksumMismatch,
+    /// The section table is malformed (overlapping, misaligned, or
+    /// out-of-bounds sections; wrong section byte lengths for the
+    /// declared counts).
+    BadSectionTable(&'static str),
+    /// Structural validation of the decoded arrays failed; the message
+    /// names the violated invariant.
+    Corrupt(&'static str),
+    /// This build cannot serve the zero-copy path (e.g. a big-endian
+    /// target reinterpreting a little-endian file).
+    UnsupportedPlatform(&'static str),
+    /// Filesystem-level failure (open, read, metadata, write).
+    Io(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated => write!(f, "truncated HA-Store snapshot"),
+            StoreError::BadMagic => write!(f, "not an HA-Store snapshot (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported HA-Store version {v}"),
+            StoreError::EndianMismatch => {
+                write!(f, "HA-Store snapshot has a foreign endianness tag")
+            }
+            StoreError::ChecksumMismatch => {
+                write!(f, "HA-Store snapshot failed checksum verification")
+            }
+            StoreError::BadSectionTable(what) => {
+                write!(f, "malformed HA-Store section table: {what}")
+            }
+            StoreError::Corrupt(what) => write!(f, "corrupt HA-Store snapshot: {what}"),
+            StoreError::UnsupportedPlatform(what) => {
+                write!(f, "HA-Store zero-copy open unsupported here: {what}")
+            }
+            StoreError::Io(what) => write!(f, "HA-Store I/O failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,611 @@
+//! `FlatStoreView` — the borrowed, zero-copy search surface over a
+//! frozen HA-Index snapshot's flat arrays.
+//!
+//! This is the *single* implementation of the level-synchronous CSR/SoA
+//! traversal introduced by HA-Flat: `ha-core`'s owned `FlatHaIndex`
+//! builds a view over its own `Vec`s and delegates here, and `HaStore`
+//! builds one straight over mapped file bytes — so an index served off
+//! disk answers **byte-for-byte** identically to a freshly frozen one,
+//! because it runs literally the same code over the same layout.
+//!
+//! A view is constructed two ways:
+//!
+//! * [`FlatStoreView::new`] — full structural validation of untrusted
+//!   arrays (everything a checksum can't express: CSR monotonicity, the
+//!   consecutive-children invariant that makes traversal termination
+//!   provable, index bounds, sorted-leaf strictness). This is what the
+//!   file-open path uses; after it succeeds, no search can panic or
+//!   read out of bounds.
+//! * [`FlatStoreView::from_parts_unchecked`] — for arrays whose
+//!   invariants hold *by construction* (the freshly compiled
+//!   `FlatHaIndex`, or a re-slice of sections that already passed
+//!   `new`). "Unchecked" here means *validation is skipped*, not that
+//!   memory safety is waived — every access still bounds-checks; a lie
+//!   in the parts can only cost a panic, never UB.
+//!
+//! # Termination, for the validated path
+//!
+//! Validation pins `children[i] == root_count + i` — the flat child
+//! array is one consecutive id run, exactly what BFS renumbering
+//! produces. Hence every non-root node appears **exactly once** as a
+//! child (a unique parent), and no root ever does (child ids are
+//! `>= root_count`). A cycle reachable from a root would need some node
+//! on it with a second inbound edge for the root path to splice in —
+//! impossible with unique parents — so the reachable graph is a forest,
+//! every frontier node is visited at most once, and the traversal
+//! terminates after at most `node_count` pops.
+
+use ha_bitcode::{masked_distance_many, BinaryCode};
+
+use crate::error::StoreError;
+
+/// Sentinel for "not a leaf" in `leaf_slot` (mirrors `FlatHaIndex`).
+pub const NONE: u32 = u32::MAX;
+
+/// Borrowed flat arrays of one frozen snapshot. Field meanings are
+/// identical to `ha-core`'s `FlatHaIndex` (see that module's docs); ids
+/// are `u64` tuple ids, codes are stored as `words`-word rows.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatParts<'a> {
+    /// Bits per code.
+    pub code_len: usize,
+    /// `u64` words per code (`code_len.div_ceil(64)`).
+    pub words: usize,
+    /// Roots occupy flat ids `0 .. root_count`.
+    pub root_count: usize,
+    /// Indexed tuples with multiplicity (`len()` of the index).
+    pub tuple_count: usize,
+    /// Arena mutation epoch the snapshot froze at.
+    pub epoch: u64,
+    /// CSR child offsets, length `node_count + 1`.
+    pub child_start: &'a [u32],
+    /// Flat child ids, length `node_count - root_count`.
+    pub children: &'a [u32],
+    /// Word-plane pattern storage, length `2 * words * node_count`.
+    pub planes: &'a [u64],
+    /// Per node: leaf-array index or [`NONE`], length `node_count`.
+    pub leaf_slot: &'a [u32],
+    /// Leaf codes as `words`-word rows, length `leaf_count * words`.
+    pub leaf_code_words: &'a [u64],
+    /// CSR offsets into `leaf_ids`, length `leaf_count + 1`.
+    pub leaf_ids_start: &'a [u32],
+    /// Tuple ids of every leaf, concatenated.
+    pub leaf_ids: &'a [u64],
+    /// Leaf slots ordered by code row, lexicographically ascending —
+    /// the zero-copy point-lookup directory, length `leaf_count`.
+    pub leaf_sorted: &'a [u32],
+}
+
+/// Reusable traversal buffers — two swapped level-synchronous frontiers
+/// plus the per-group distance accumulators handed to the batch kernel.
+/// One `Scratch` can serve a whole batch of queries, so steady-state
+/// searches allocate nothing.
+#[derive(Default)]
+pub struct Scratch {
+    frontier: Vec<(u32, u32)>,
+    next: Vec<(u32, u32)>,
+    dist: Vec<u32>,
+}
+
+/// Zero-copy search view over [`FlatParts`] (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct FlatStoreView<'a> {
+    parts: FlatParts<'a>,
+}
+
+impl<'a> FlatStoreView<'a> {
+    /// Wraps `parts` after validating every structural invariant the
+    /// traversal relies on. On success the view is total: no input
+    /// query can make any search method panic or read out of bounds.
+    pub fn new(parts: FlatParts<'a>) -> Result<FlatStoreView<'a>, StoreError> {
+        let n = parts.leaf_slot.len();
+        let rc = parts.root_count;
+        let words = parts.words;
+        if parts.code_len == 0 || parts.code_len > ha_bitcode::MAX_BITS {
+            return Err(StoreError::Corrupt("code length out of range"));
+        }
+        if words != parts.code_len.div_ceil(64) {
+            return Err(StoreError::Corrupt("word count does not match code length"));
+        }
+        if rc > n {
+            return Err(StoreError::Corrupt("more roots than nodes"));
+        }
+        if n >= u32::MAX as usize {
+            return Err(StoreError::Corrupt("count exceeds u32 index space"));
+        }
+        let m = n - rc;
+        if parts.children.len() != m {
+            return Err(StoreError::Corrupt("child array length mismatch"));
+        }
+        if parts.child_start.len() != n + 1 {
+            return Err(StoreError::Corrupt("child offset length mismatch"));
+        }
+        if parts.child_start.first() != Some(&0) || parts.child_start.last() != Some(&(m as u32)) {
+            return Err(StoreError::Corrupt("child offsets do not span child array"));
+        }
+        if parts.child_start.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Corrupt("child offsets not monotone"));
+        }
+        // The consecutive-children invariant: BFS renumbering appends
+        // each processed node's children in order, so the flat child
+        // array is exactly `root_count, root_count + 1, …`. This single
+        // O(n) check is what makes termination provable (module docs).
+        if parts
+            .children
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| c as usize != rc + i)
+        {
+            return Err(StoreError::Corrupt("child ids not consecutive"));
+        }
+        let plane_words = 2usize
+            .checked_mul(words)
+            .and_then(|x| x.checked_mul(n))
+            .ok_or(StoreError::Corrupt("plane size overflow"))?;
+        if parts.planes.len() != plane_words {
+            return Err(StoreError::Corrupt("plane array length mismatch"));
+        }
+
+        let leaves = parts.leaf_sorted.len();
+        if leaves >= u32::MAX as usize {
+            return Err(StoreError::Corrupt("count exceeds u32 index space"));
+        }
+        if parts.leaf_code_words.len()
+            != leaves
+                .checked_mul(words)
+                .ok_or(StoreError::Corrupt("leaf code size overflow"))?
+        {
+            return Err(StoreError::Corrupt("leaf code array length mismatch"));
+        }
+        if parts.leaf_ids_start.len() != leaves + 1 {
+            return Err(StoreError::Corrupt("leaf id offset length mismatch"));
+        }
+        if parts.leaf_ids_start.first() != Some(&0)
+            || parts.leaf_ids_start.last().map(|&x| x as usize) != Some(parts.leaf_ids.len())
+        {
+            return Err(StoreError::Corrupt("leaf id offsets do not span id array"));
+        }
+        if parts.leaf_ids_start.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Corrupt("leaf id offsets not monotone"));
+        }
+        // In leafful snapshots the tuple count is exactly the id count;
+        // only leafless snapshots (empty id array, Option B of the
+        // MapReduce join) may carry a larger count.
+        if !parts.leaf_ids.is_empty() && parts.tuple_count != parts.leaf_ids.len() {
+            return Err(StoreError::Corrupt("tuple count disagrees with id array"));
+        }
+        // Leaf slots are assigned in BFS order: the k-th leaf node gets
+        // slot k. Checking that sequence also proves every slot index
+        // is in bounds and used exactly once.
+        let mut next_slot = 0u32;
+        for &s in parts.leaf_slot {
+            if s == NONE {
+                continue;
+            }
+            if s != next_slot {
+                return Err(StoreError::Corrupt("leaf slots not sequential"));
+            }
+            next_slot += 1;
+        }
+        if next_slot as usize != leaves {
+            return Err(StoreError::Corrupt("leaf slot count mismatch"));
+        }
+        // Stored codes must not smuggle bits past `code_len` — the tail
+        // of the last word is zero in every code `BinaryCode` produces,
+        // and distance arithmetic and point lookups both rely on it.
+        let tail = parts.code_len % 64;
+        if tail != 0 && words > 0 {
+            let junk = u64::MAX >> tail;
+            for row in parts.leaf_code_words.chunks_exact(words) {
+                if row[words - 1] & junk != 0 {
+                    return Err(StoreError::Corrupt("leaf code has bits past code length"));
+                }
+            }
+        }
+        // `leaf_sorted` must list each slot once, rows strictly
+        // ascending — strictness both proves it is a permutation and
+        // licenses binary search (codes are distinct by construction).
+        for w in parts.leaf_sorted.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            if a >= leaves || b >= leaves {
+                return Err(StoreError::Corrupt("sorted leaf index out of range"));
+            }
+            let ra = &parts.leaf_code_words[a * words..(a + 1) * words];
+            let rb = &parts.leaf_code_words[b * words..(b + 1) * words];
+            if ra >= rb {
+                return Err(StoreError::Corrupt("sorted leaf directory out of order"));
+            }
+        }
+        if leaves == 1 && parts.leaf_sorted[0] != 0 {
+            return Err(StoreError::Corrupt("sorted leaf index out of range"));
+        }
+        Ok(FlatStoreView { parts })
+    }
+
+    /// Wraps `parts` without validation — for arrays correct by
+    /// construction (a freshly compiled snapshot, or sections that
+    /// already passed [`FlatStoreView::new`]). Still memory-safe for
+    /// arbitrary inputs; see the module docs.
+    pub fn from_parts_unchecked(parts: FlatParts<'a>) -> FlatStoreView<'a> {
+        FlatStoreView { parts }
+    }
+
+    /// The underlying borrowed arrays.
+    pub fn parts(&self) -> &FlatParts<'a> {
+        &self.parts
+    }
+
+    /// Number of indexed tuples (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.parts.tuple_count
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.parts.tuple_count == 0
+    }
+
+    /// Width of the indexed codes in bits.
+    pub fn code_len(&self) -> usize {
+        self.parts.code_len
+    }
+
+    /// Total nodes of the frozen forest.
+    pub fn node_count(&self) -> usize {
+        self.parts.leaf_slot.len()
+    }
+
+    /// Distinct leaf codes.
+    pub fn leaf_count(&self) -> usize {
+        self.parts.leaf_sorted.len()
+    }
+
+    /// Arena mutation epoch the snapshot froze at.
+    pub fn epoch(&self) -> u64 {
+        self.parts.epoch
+    }
+
+    /// Leaf slot `slot`'s code as a word row.
+    #[inline]
+    fn row(&self, slot: usize) -> &'a [u64] {
+        let w = self.parts.words;
+        &self.parts.leaf_code_words[slot * w..(slot + 1) * w]
+    }
+
+    /// Tuple ids of leaf slot `slot`.
+    #[inline]
+    fn ids_of(&self, slot: u32) -> &'a [u64] {
+        let lo = self.parts.leaf_ids_start[slot as usize] as usize;
+        let hi = self.parts.leaf_ids_start[slot as usize + 1] as usize;
+        &self.parts.leaf_ids[lo..hi]
+    }
+
+    /// Word-plane slice, group size and child-array offset of node
+    /// `p`'s child group.
+    #[inline]
+    fn child_group(&self, p: u32) -> (&'a [u64], usize, usize) {
+        let lo = self.parts.child_start[p as usize] as usize;
+        let hi = self.parts.child_start[p as usize + 1] as usize;
+        let g = hi - lo;
+        let base = 2 * self.parts.words * (self.parts.root_count + lo);
+        (
+            &self.parts.planes[base..base + 2 * self.parts.words * g],
+            g,
+            lo,
+        )
+    }
+
+    /// Core level-synchronous traversal — ported verbatim from
+    /// `FlatHaIndex::run` so visit order (and thus result order) is
+    /// byte-for-byte identical to a freshly frozen in-memory index.
+    /// Calls `emit(flat_id, exact_distance)` for each qualifying leaf.
+    pub(crate) fn run(
+        &self,
+        query: &BinaryCode,
+        h: u32,
+        scratch: &mut Scratch,
+        emit: &mut impl FnMut(u32, u32),
+    ) {
+        assert_eq!(query.len(), self.parts.code_len, "query length mismatch");
+        let rc = self.parts.root_count;
+        if rc == 0 {
+            return;
+        }
+        let qw = query.words();
+        let w = self.parts.words;
+        let Scratch { frontier, next, dist } = scratch;
+        frontier.clear();
+
+        // Top level: one kernel call over the root group.
+        dist.clear();
+        dist.resize(rc, 0);
+        masked_distance_many(qw, &self.parts.planes[..2 * w * rc], rc, h, dist);
+        for v in 0..rc {
+            let d = dist[v];
+            if d <= h {
+                if self.parts.leaf_slot[v] != NONE {
+                    emit(v as u32, d);
+                } else {
+                    frontier.push((v as u32, d));
+                }
+            }
+        }
+
+        // Descend level by level; each internal survivor scans its
+        // child group with one kernel call seeded at the parent's
+        // accumulator.
+        while !frontier.is_empty() {
+            next.clear();
+            for i in 0..frontier.len() {
+                let (p, acc) = frontier[i];
+                let (planes, g, lo) = self.child_group(p);
+                dist.clear();
+                dist.resize(g, acc);
+                masked_distance_many(qw, planes, g, h, dist);
+                for s in 0..g {
+                    let d = dist[s];
+                    if d <= h {
+                        let v = self.parts.children[lo + s];
+                        if self.parts.leaf_slot[v as usize] != NONE {
+                            emit(v, d);
+                        } else {
+                            next.push((v, d));
+                        }
+                    }
+                }
+            }
+            std::mem::swap(frontier, next);
+        }
+    }
+
+    /// H-Search over the mapped layout.
+    pub fn search(&self, query: &BinaryCode, h: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.search_into(query, h, &mut scratch, &mut out);
+        out
+    }
+
+    /// H-Search appending into caller-owned buffers (batch-friendly).
+    pub fn search_into(
+        &self,
+        query: &BinaryCode,
+        h: u32,
+        scratch: &mut Scratch,
+        out: &mut Vec<u64>,
+    ) {
+        self.run(query, h, scratch, &mut |v, _| {
+            out.extend_from_slice(self.ids_of(self.parts.leaf_slot[v as usize]));
+        });
+    }
+
+    /// H-Search returning `(id, exact distance)` pairs.
+    pub fn search_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.run(query, h, &mut scratch, &mut |v, d| {
+            out.extend(
+                self.ids_of(self.parts.leaf_slot[v as usize])
+                    .iter()
+                    .map(|&id| (id, d)),
+            );
+        });
+        out
+    }
+
+    /// H-Search returning distinct qualifying codes with exact
+    /// distances (codes materialized from the mapped rows).
+    pub fn search_codes(&self, query: &BinaryCode, h: u32) -> Vec<(BinaryCode, u32)> {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        self.run(query, h, &mut scratch, &mut |v, d| {
+            let slot = self.parts.leaf_slot[v as usize] as usize;
+            out.push((BinaryCode::from_words(self.row(slot), self.parts.code_len), d));
+        });
+        out
+    }
+
+    /// Batched H-Search sharing one scratch across the batch.
+    pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        let mut scratch = Scratch::default();
+        for (slot, query) in out.iter_mut().zip(queries) {
+            self.search_into(query, h, &mut scratch, slot);
+        }
+        out
+    }
+
+    /// Linear row-store scan over the leaf SoA — the flat verification
+    /// path MIH-style backends use, kept here so a mapped snapshot can
+    /// serve as their candidate store too. Emits every `(id, d)` with
+    /// `d <= h`, in leaf-slot order.
+    pub fn scan_with_distances(&self, query: &BinaryCode, h: u32) -> Vec<(u64, u32)> {
+        assert_eq!(query.len(), self.parts.code_len, "query length mismatch");
+        let qw = query.words();
+        let mut out = Vec::new();
+        for slot in 0..self.leaf_count() {
+            let row = self.row(slot);
+            let mut d = 0u32;
+            for (a, b) in qw.iter().zip(row) {
+                d += (a ^ b).count_ones();
+                if d > h {
+                    break;
+                }
+            }
+            if d <= h {
+                out.extend(self.ids_of(slot as u32).iter().map(|&id| (id, d)));
+            }
+        }
+        out
+    }
+
+    /// Exact point lookup: tuple ids stored under `code`, or an empty
+    /// slice. Zero-copy — binary search over the sorted leaf directory,
+    /// answer borrowed straight from the mapped id section.
+    pub fn ids_for_code(&self, code: &BinaryCode) -> &'a [u64] {
+        if code.len() != self.parts.code_len {
+            return &[];
+        }
+        let qw = code.words();
+        let found = self
+            .parts
+            .leaf_sorted
+            .binary_search_by(|&slot| self.row(slot as usize).cmp(qw));
+        match found {
+            Ok(pos) => self.ids_of(self.parts.leaf_sorted[pos]),
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterates every indexed `(code, id)` pair in leaf-slot order —
+    /// the materialization source for rebuilds on top of a mapped
+    /// snapshot.
+    pub fn items(&self) -> impl Iterator<Item = (BinaryCode, u64)> + '_ {
+        (0..self.leaf_count()).flat_map(move |slot| {
+            let code = BinaryCode::from_words(self.row(slot), self.parts.code_len);
+            self.ids_of(slot as u32)
+                .iter()
+                .map(move |&id| (code.clone(), id))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-built two-level snapshot: one root with two leaf
+    /// children. Codes are 8-bit.
+    struct Tiny {
+        child_start: Vec<u32>,
+        children: Vec<u32>,
+        planes: Vec<u64>,
+        leaf_slot: Vec<u32>,
+        leaf_code_words: Vec<u64>,
+        leaf_ids_start: Vec<u32>,
+        leaf_ids: Vec<u64>,
+        leaf_sorted: Vec<u32>,
+    }
+
+    fn bc(bits: u64) -> BinaryCode {
+        BinaryCode::from_u64(bits, 8)
+    }
+
+    impl Tiny {
+        fn build() -> Tiny {
+            // Root pattern: empty mask (matches everything, distance 0).
+            // Children: full-mask patterns equal to the leaf codes.
+            let a = bc(0b1010_0000);
+            let b = bc(0b1111_0000);
+            let full = BinaryCode::from_u64(0xFF, 8).words()[0];
+            Tiny {
+                child_start: vec![0, 2, 2, 2],
+                children: vec![1, 2],
+                // Word-plane order per group: bits then mask, one word.
+                planes: vec![
+                    0,
+                    0, // root group: bits, mask
+                    a.words()[0],
+                    b.words()[0], // child bits plane
+                    full,
+                    full, // child mask plane
+                ],
+                leaf_slot: vec![NONE, 0, 1],
+                leaf_code_words: vec![a.words()[0], b.words()[0]],
+                leaf_ids_start: vec![0, 2, 3],
+                leaf_ids: vec![10, 11, 20],
+                leaf_sorted: vec![0, 1],
+            }
+        }
+
+        fn parts(&self) -> FlatParts<'_> {
+            FlatParts {
+                code_len: 8,
+                words: 1,
+                root_count: 1,
+                tuple_count: 3,
+                epoch: 7,
+                child_start: &self.child_start,
+                children: &self.children,
+                planes: &self.planes,
+                leaf_slot: &self.leaf_slot,
+                leaf_code_words: &self.leaf_code_words,
+                leaf_ids_start: &self.leaf_ids_start,
+                leaf_ids: &self.leaf_ids,
+                leaf_sorted: &self.leaf_sorted,
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_snapshot_searches_and_looks_up() {
+        let t = Tiny::build();
+        let view = FlatStoreView::new(t.parts()).expect("valid parts");
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.leaf_count(), 2);
+        assert_eq!(view.search(&bc(0b1010_0000), 0), vec![10, 11]);
+        let both = view.search(&bc(0b1010_0000), 2);
+        assert_eq!(both, vec![10, 11, 20]);
+        assert_eq!(view.ids_for_code(&bc(0b1111_0000)), &[20]);
+        assert_eq!(view.ids_for_code(&bc(0b0000_0001)), &[] as &[u64]);
+        let scan = view.scan_with_distances(&bc(0b1010_0000), 2);
+        assert_eq!(scan, vec![(10, 0), (11, 0), (20, 2)]);
+        assert_eq!(view.items().count(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_each_broken_invariant() {
+        let cases: Vec<(&str, Box<dyn Fn(&mut Tiny)>)> = vec![
+            ("child ids not consecutive", Box::new(|t| t.children[0] = 2)),
+            ("offsets not monotone", Box::new(|t| t.child_start[1] = 9)),
+            ("leaf slot out of range", Box::new(|t| t.leaf_slot[1] = 5)),
+            ("id offsets ragged", Box::new(|t| t.leaf_ids_start[2] = 99)),
+            ("sorted dir out of order", Box::new(|t| t.leaf_sorted.swap(0, 1))),
+            ("sorted index range", Box::new(|t| t.leaf_sorted[0] = 3)),
+        ];
+        for (what, mutate) in cases {
+            let mut t = Tiny::build();
+            mutate(&mut t);
+            assert!(
+                FlatStoreView::new(t.parts()).is_err(),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_trailing_code_bits() {
+        let mut t = Tiny::build();
+        t.leaf_code_words[0] |= 1; // bit 63 of word 0 is past an 8-bit code
+        let err = FlatStoreView::new(t.parts()).err().expect("must reject");
+        assert_eq!(
+            err,
+            StoreError::Corrupt("leaf code has bits past code length")
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_and_inert() {
+        let child_start = [0u32];
+        let leaf_ids_start = [0u32];
+        let parts = FlatParts {
+            code_len: 16,
+            words: 1,
+            root_count: 0,
+            tuple_count: 0,
+            epoch: 0,
+            child_start: &child_start,
+            children: &[],
+            planes: &[],
+            leaf_slot: &[],
+            leaf_code_words: &[],
+            leaf_ids_start: &leaf_ids_start,
+            leaf_ids: &[],
+            leaf_sorted: &[],
+        };
+        let view = FlatStoreView::new(parts).expect("empty is valid");
+        assert!(view.is_empty());
+        assert!(view.search(&BinaryCode::zero(16), 16).is_empty());
+        assert!(view.items().next().is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Serializer for the HA-Store v1 snapshot format.
+//!
+//! The writer is the mirror of [`crate::layout::parse`]: it lays the
+//! eight sections out 64-byte aligned in the fixed order, zero-pads the
+//! gaps, and seals the file with the FNV-1a footer. Everything is
+//! little-endian regardless of host byte order, so files written here
+//! open zero-copy on any little-endian machine and are rejected with a
+//! typed error (never misread) elsewhere.
+
+use ha_bitcode::fnv::fnv64;
+
+use crate::error::StoreError;
+use crate::layout::{
+    align_up, section, ENDIAN_TAG, FOOTER_BYTES, HEADER_BYTES, MAGIC, SECTION_COUNT, TABLE_BYTES,
+    VERSION,
+};
+use crate::view::FlatParts;
+
+fn put_u32s(out: &mut Vec<u8>, at: usize, vals: &[u32]) {
+    let mut o = at;
+    for &v in vals {
+        out[o..o + 4].copy_from_slice(&v.to_le_bytes());
+        o += 4;
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, at: usize, vals: &[u64]) {
+    let mut o = at;
+    for &v in vals {
+        out[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        o += 8;
+    }
+}
+
+/// Serializes one frozen snapshot into the v1 wire format.
+pub fn store_bytes(parts: &FlatParts<'_>) -> Vec<u8> {
+    // Section byte lengths, in file order (see layout docs).
+    let lens: [usize; SECTION_COUNT] = [
+        parts.child_start.len() * 4,
+        parts.children.len() * 4,
+        parts.planes.len() * 8,
+        parts.leaf_slot.len() * 4,
+        parts.leaf_code_words.len() * 8,
+        parts.leaf_ids_start.len() * 4,
+        parts.leaf_ids.len() * 8,
+        parts.leaf_sorted.len() * 4,
+    ];
+    let mut offsets = [0usize; SECTION_COUNT];
+    let mut at = align_up(HEADER_BYTES + TABLE_BYTES);
+    for (o, &len) in offsets.iter_mut().zip(&lens) {
+        *o = at;
+        at = align_up(at + len);
+    }
+    let body_len = at;
+    let mut out = vec![0u8; body_len + FOOTER_BYTES];
+
+    // Fixed header.
+    out[0..8].copy_from_slice(&MAGIC);
+    out[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    out[10..12].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
+    out[12..16].copy_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    out[16..20].copy_from_slice(&(parts.code_len as u32).to_le_bytes());
+    out[20..24].copy_from_slice(&(parts.words as u32).to_le_bytes());
+    out[24..28].copy_from_slice(&(parts.root_count as u32).to_le_bytes());
+    // bytes 28..32: flags, reserved zero.
+    out[32..40].copy_from_slice(&(parts.leaf_slot.len() as u64).to_le_bytes());
+    out[40..48].copy_from_slice(&(parts.leaf_sorted.len() as u64).to_le_bytes());
+    out[48..56].copy_from_slice(&(parts.tuple_count as u64).to_le_bytes());
+    out[56..64].copy_from_slice(&parts.epoch.to_le_bytes());
+
+    // Section table.
+    for i in 0..SECTION_COUNT {
+        let at = HEADER_BYTES + 16 * i;
+        out[at..at + 8].copy_from_slice(&(offsets[i] as u64).to_le_bytes());
+        out[at + 8..at + 16].copy_from_slice(&(lens[i] as u64).to_le_bytes());
+    }
+
+    // Section payloads (gaps stay zero).
+    put_u32s(&mut out, offsets[section::CHILD_START], parts.child_start);
+    put_u32s(&mut out, offsets[section::CHILDREN], parts.children);
+    put_u64s(&mut out, offsets[section::PLANES], parts.planes);
+    put_u32s(&mut out, offsets[section::LEAF_SLOT], parts.leaf_slot);
+    put_u64s(&mut out, offsets[section::LEAF_CODES], parts.leaf_code_words);
+    put_u32s(&mut out, offsets[section::LEAF_IDS_START], parts.leaf_ids_start);
+    put_u64s(&mut out, offsets[section::LEAF_IDS], parts.leaf_ids);
+    put_u32s(&mut out, offsets[section::LEAF_SORTED], parts.leaf_sorted);
+
+    // Seal: FNV-1a over everything before the footer.
+    let sum = fnv64(&out[..body_len]);
+    out[body_len..].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Serializes `parts` and writes the snapshot to `path` atomically: the
+/// bytes land in a same-directory temp file first, then `rename` into
+/// place, so readers only ever observe complete snapshots — the
+/// contract the mmap open path relies on.
+pub fn write_store_file(parts: &FlatParts<'_>, path: &std::path::Path) -> Result<(), StoreError> {
+    let bytes = store_bytes(parts);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+
+    #[test]
+    fn written_bytes_parse_back_to_the_same_meta() {
+        let child_start = [0u32];
+        let leaf_ids_start = [0u32];
+        let parts = FlatParts {
+            code_len: 96,
+            words: 2,
+            root_count: 0,
+            tuple_count: 0,
+            epoch: 42,
+            child_start: &child_start,
+            children: &[],
+            planes: &[],
+            leaf_slot: &[],
+            leaf_code_words: &[],
+            leaf_ids_start: &leaf_ids_start,
+            leaf_ids: &[],
+            leaf_sorted: &[],
+        };
+        let bytes = store_bytes(&parts);
+        let (meta, ranges) = layout::parse(&bytes).expect("round-trips");
+        assert_eq!(meta.code_len, 96);
+        assert_eq!(meta.words, 2);
+        assert_eq!(meta.epoch, 42);
+        assert_eq!(meta.node_count, 0);
+        for r in &ranges {
+            assert_eq!(r.start % layout::ALIGN, 0);
+        }
+    }
+}

@@ -19,8 +19,8 @@ run() {
 # in the vendored dependency shims under vendor/, which are not held to
 # the documentation bar.
 CRATES=(
-    -p hamming-suite -p ha-obs -p ha-bitcode -p ha-hashing -p ha-core
-    -p ha-knn -p ha-mapreduce -p ha-datagen -p ha-distributed
+    -p hamming-suite -p ha-obs -p ha-bitcode -p ha-hashing -p ha-store
+    -p ha-core -p ha-knn -p ha-mapreduce -p ha-datagen -p ha-distributed
     -p ha-service -p ha-bench
 )
 
@@ -36,6 +36,8 @@ run cargo test -q --test panic_audit
 run cargo test -q --test flat_equivalence
 run cargo test -q --test mih_equivalence
 run cargo test -q --test planner_decisions
+run cargo test -q --test store_roundtrip
+run cargo test -q --test store_corruption
 
 # Compile-only smoke over the criterion benches: keeps the bench
 # harnesses (including flat_search and mih_search) building without paying for a

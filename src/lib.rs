@@ -12,6 +12,7 @@
 //! | [`bitcode`] | `ha-bitcode` | binary codes, Gray order, masked patterns |
 //! | [`hashing`] | `ha-hashing` | learned similarity hash functions |
 //! | [`index`] | `ha-core` | HA-Index (static/dynamic) + all baselines |
+//! | [`store`] | `ha-store` | HA-Store: mmap-able persistent snapshots, zero-copy cold starts |
 //! | [`knn`] | `ha-knn` | approximate kNN-select/join, LSH & LSB-Tree |
 //! | [`mapreduce`] | `ha-mapreduce` | the MapReduce runtime + metrics |
 //! | [`datagen`] | `ha-datagen` | dataset profiles, sampling, scale-up |
@@ -49,6 +50,7 @@ pub use ha_knn as knn;
 pub use ha_mapreduce as mapreduce;
 pub use ha_obs as obs;
 pub use ha_service as service;
+pub use ha_store as store;
 
 // Compile-check the `rust` code blocks of the README and the docs/
 // pages as doctests, so the documentation can't drift from the API it
