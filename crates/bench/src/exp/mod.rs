@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7_9;
 pub mod fig8;
 pub mod flat;
+pub mod kernels;
 pub mod planner;
 pub mod serve;
 pub mod store;

@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 //! Binary-code substrate for Hamming-distance similarity search.
 //!
 //! This crate provides the data representations that every layer above it
@@ -22,6 +23,11 @@
 //! * [`chunk`] — chunked-probe kernels for Multi-Index Hashing: exact
 //!   neighborhood sizes, deterministic neighborhood enumeration, and the
 //!   early-exit word-slice distance used for candidate verification.
+//! * [`kernels`] — HA-Kern: the sibling-group distance kernels behind
+//!   every frozen-snapshot search path ([`Kernel`] × [`GroupLayout`]
+//!   dispatched through [`masked_distance_group`]), with `std::simd`
+//!   variants behind the nightly-only `simd` feature. See
+//!   `docs/KERNELS.md` for the tuning guide.
 //!
 //! # Bit-order convention
 //!
@@ -44,12 +50,14 @@ mod code;
 mod error;
 pub mod fnv;
 pub mod gray;
+pub mod kernels;
 mod masked;
 pub mod segment;
 mod words;
 
 pub use code::BinaryCode;
 pub use error::BitCodeError;
+pub use kernels::{masked_distance_group, GroupLayout, Kernel};
 pub use masked::MaskedCode;
 pub use words::masked_distance_many;
 

@@ -61,18 +61,23 @@ pub(crate) fn tail_mask(bits: usize) -> u64 {
 /// within budget).
 ///
 /// # Panics
-/// If `acc.len() != group` or `planes.len() != 2 * query.len() * group`.
+/// If `planes.len() != 2 * query.len() * group`. `acc.len() == group` is
+/// debug-asserted at this boundary; in release builds a short `acc` can
+/// only truncate the sweep or panic on an interior bounds check.
 pub fn masked_distance_many(query: &[u64], planes: &[u64], group: usize, limit: u32, acc: &mut [u32]) {
-    assert_eq!(acc.len(), group, "one accumulator per sibling");
+    debug_assert_eq!(acc.len(), group, "one accumulator per sibling");
     assert_eq!(
         planes.len(),
         2 * query.len() * group,
         "planes must hold bits+mask words for every sibling"
     );
-    for (w, &q) in query.iter().enumerate() {
-        let base = 2 * w * group;
-        let bits = &planes[base..base + group];
-        let mask = &planes[base + group..base + 2 * group];
+    if group == 0 {
+        return;
+    }
+    // One `chunks_exact` step per word-plane pair hoists the former
+    // `2 * w * group` base-offset recomputation out of the sibling loop.
+    for (plane, &q) in planes.chunks_exact(2 * group).zip(query) {
+        let (bits, mask) = plane.split_at(group);
         let mut live = false;
         for s in 0..group {
             let a = acc[s];

@@ -35,7 +35,7 @@
 //! the identical code. [`FlatHaIndex::store_bytes`] serializes the arrays
 //! into the persistent HA-Store format.
 
-use ha_bitcode::{masked_distance_many, BinaryCode, MaskedCode};
+use ha_bitcode::{masked_distance_group, BinaryCode, GroupLayout, Kernel, MaskedCode};
 use ha_store::{FlatParts, FlatStoreView, Scratch};
 
 use super::search::{TraceEvent, TraceStep};
@@ -45,6 +45,88 @@ use crate::TupleId;
 
 /// Sentinel for "no parent" / "not a leaf" in the flat arrays.
 const NONE: u32 = u32::MAX;
+
+/// Per-subtree layout decision applied while compiling a snapshot.
+///
+/// The compiler measures every sibling group's width as it renumbers
+/// and asks the policy whether that group should be stored as SoA
+/// word-planes (column-major: scan all siblings' word 0, then word 1,
+/// …) or as AoS rows (each sibling's full `bits‖mask` row contiguous).
+/// Wide groups amortize the SoA stride across many siblings and let
+/// the lane kernels run branch-free; small groups of multi-word codes
+/// spend more on striding than they save, and a row-major sweep with
+/// per-sibling early exit wins — that crossover is exactly the 512-bit
+/// sparse regression BENCH_flat pinned at 0.69×. Both layouts occupy
+/// the same `2 * words * group` words at the same base offset, so the
+/// choice is free at search time: one flag byte per group, recorded in
+/// the HA-Store v2 format.
+///
+/// The default ([`FreezePolicy::adaptive`]) decides per group;
+/// [`FreezePolicy::always_soa`] reproduces the pre-policy layout (and
+/// is what the documented ablation in DESIGN.md runs);
+/// [`FreezePolicy::always_aos`] exists for measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreezePolicy {
+    mode: PolicyMode,
+    aos_max_group: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PolicyMode {
+    Adaptive,
+    AlwaysSoa,
+    AlwaysAos,
+}
+
+impl FreezePolicy {
+    /// Per-group choice: AoS for narrow groups of multi-word codes,
+    /// SoA everywhere else. The default group-width threshold (16) is
+    /// where the kernel sweep measured the stride cost crossing the
+    /// early-exit gain; tune with [`FreezePolicy::aos_max_group`].
+    pub fn adaptive() -> FreezePolicy {
+        FreezePolicy { mode: PolicyMode::Adaptive, aos_max_group: 16 }
+    }
+
+    /// Every group SoA — the legacy layout, kept as the documented
+    /// ablation and for serializing v1-compatible files.
+    pub fn always_soa() -> FreezePolicy {
+        FreezePolicy { mode: PolicyMode::AlwaysSoa, aos_max_group: 0 }
+    }
+
+    /// Every group AoS — a measurement aid, not a serving choice.
+    pub fn always_aos() -> FreezePolicy {
+        FreezePolicy { mode: PolicyMode::AlwaysAos, aos_max_group: usize::MAX }
+    }
+
+    /// Adjusts the adaptive threshold: groups strictly narrower than
+    /// `g` (of multi-word codes) become AoS.
+    pub fn aos_max_group(mut self, g: usize) -> FreezePolicy {
+        self.aos_max_group = g;
+        self
+    }
+
+    /// The layout this policy assigns a `group`-wide sibling group of
+    /// `words`-word patterns.
+    pub fn layout_for(&self, group: usize, words: usize) -> GroupLayout {
+        match self.mode {
+            PolicyMode::AlwaysSoa => GroupLayout::Soa,
+            PolicyMode::AlwaysAos => GroupLayout::Aos,
+            PolicyMode::Adaptive => {
+                if words > 1 && group < self.aos_max_group {
+                    GroupLayout::Aos
+                } else {
+                    GroupLayout::Soa
+                }
+            }
+        }
+    }
+}
+
+impl Default for FreezePolicy {
+    fn default() -> FreezePolicy {
+        FreezePolicy::adaptive()
+    }
+}
 
 /// Frozen search snapshot of a [`DynamicHaIndex`] (see module docs).
 #[derive(Clone, Debug)]
@@ -83,26 +165,55 @@ pub struct FlatHaIndex {
     leaf_ids_start: Vec<u32>,
     /// Tuple ids of every leaf, concatenated.
     leaf_ids: Vec<TupleId>,
+    /// Per-group layout flags (entry 0 = root group, entry `1 + p` =
+    /// node `p`'s child group; leaves carry an unused `0`), length
+    /// `node_count + 1`. Mirrors HA-Store v2's GROUP_LAYOUT section.
+    group_layout: Vec<u8>,
+    /// Sibling groups compiled, and how many of them the policy laid
+    /// out row-major — the planner reads the ratio.
+    groups: u32,
+    aos_groups: u32,
 }
 
-/// Appends one sibling group's patterns to `planes` in word-plane order.
-fn push_group(planes: &mut Vec<u64>, idx: &DynamicHaIndex, group: &[NodeId], words: usize) {
-    for w in 0..words {
-        for &m in group {
-            planes.push(idx.nodes[m as usize].pattern.bits().words()[w]);
+/// Appends one sibling group's patterns to `planes` in the layout the
+/// policy chose: SoA word-planes (column-major) or AoS rows. Both
+/// occupy exactly `2 * words * group.len()` words, so downstream
+/// base-offset arithmetic never depends on the choice.
+fn push_group(
+    planes: &mut Vec<u64>,
+    idx: &DynamicHaIndex,
+    group: &[NodeId],
+    words: usize,
+    layout: GroupLayout,
+) {
+    match layout {
+        GroupLayout::Soa => {
+            for w in 0..words {
+                for &m in group {
+                    planes.push(idx.nodes[m as usize].pattern.bits().words()[w]);
+                }
+                for &m in group {
+                    planes.push(idx.nodes[m as usize].pattern.mask().words()[w]);
+                }
+            }
         }
-        for &m in group {
-            planes.push(idx.nodes[m as usize].pattern.mask().words()[w]);
+        GroupLayout::Aos => {
+            for &m in group {
+                let pattern = &idx.nodes[m as usize].pattern;
+                planes.extend_from_slice(&pattern.bits().words()[..words]);
+                planes.extend_from_slice(&pattern.mask().words()[..words]);
+            }
         }
     }
 }
 
-/// Compiles a snapshot from a flushed, compacted arena.
+/// Compiles a snapshot from a flushed, compacted arena, laying each
+/// sibling group out as `policy` directs.
 ///
 /// Callers ([`DynamicHaIndex::freeze`](super::DynamicHaIndex::freeze)) must
 /// have emptied the insert buffer and dropped dead slots first; the BFS
 /// renumbering below assumes every reachable node is alive.
-pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
+pub(super) fn compile(idx: &DynamicHaIndex, policy: FreezePolicy) -> FlatHaIndex {
     debug_assert!(idx.buffer.is_empty(), "freeze must flush the buffer");
     debug_assert!(idx.nodes.iter().all(|n| n.alive), "freeze must compact");
     let code_len = idx.code_len;
@@ -114,7 +225,15 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
     // property the planes rely on.
     let mut order: Vec<NodeId> = idx.roots.clone();
     let mut planes: Vec<u64> = Vec::new();
-    push_group(&mut planes, idx, &idx.roots, words);
+    let mut groups = 0u32;
+    let mut aos_groups = 0u32;
+    let root_layout = policy.layout_for(root_count, words);
+    push_group(&mut planes, idx, &idx.roots, words, root_layout);
+    if root_count > 0 {
+        groups += 1;
+        aos_groups += u32::from(root_layout == GroupLayout::Aos);
+    }
+    let mut group_layout: Vec<u8> = vec![root_layout.flag()];
     let mut child_start: Vec<u32> = Vec::with_capacity(idx.nodes.len() + 1);
     child_start.push(0);
     let mut children: Vec<u32> = Vec::new();
@@ -134,9 +253,16 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
             leaf_code_words.extend_from_slice(leaf.code.words());
             leaf_ids.extend_from_slice(&leaf.ids);
             leaf_ids_start.push(leaf_ids.len() as u32);
+            group_layout.push(GroupLayout::Soa.flag()); // leaves own no group
         } else {
             leaf_slot.push(NONE);
-            push_group(&mut planes, idx, &node.children, words);
+            // The per-subtree measurement: this group's width decides
+            // its layout, independently of every other group.
+            let layout = policy.layout_for(node.children.len(), words);
+            push_group(&mut planes, idx, &node.children, words, layout);
+            groups += 1;
+            aos_groups += u32::from(layout == GroupLayout::Aos);
+            group_layout.push(layout.flag());
             for &c in &node.children {
                 children.push(order.len() as u32);
                 parent.push(at as u32);
@@ -172,6 +298,9 @@ pub(super) fn compile(idx: &DynamicHaIndex) -> FlatHaIndex {
         leaf_sorted,
         leaf_ids_start,
         leaf_ids,
+        group_layout,
+        groups,
+        aos_groups,
     }
 }
 
@@ -212,6 +341,20 @@ impl FlatHaIndex {
             + vec_bytes(&self.leaf_sorted)
             + vec_bytes(&self.leaf_ids_start)
             + vec_bytes(&self.leaf_ids)
+            + vec_bytes(&self.group_layout)
+    }
+
+    /// Fraction of sibling groups the freeze policy laid out row-major
+    /// (AoS), in `0.0 ..= 1.0`. The planner folds this into the flat
+    /// backend's sparse penalty: AoS groups early-exit per sibling like
+    /// the arena does, so a mostly-AoS snapshot does not pay the SoA
+    /// stride tax the penalty models.
+    pub fn aos_fraction(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            f64::from(self.aos_groups) / f64::from(self.groups)
+        }
     }
 
     /// The snapshot's arrays as borrowed [`FlatParts`] — valid by
@@ -232,6 +375,7 @@ impl FlatHaIndex {
             leaf_ids_start: &self.leaf_ids_start,
             leaf_ids: &self.leaf_ids,
             leaf_sorted: &self.leaf_sorted,
+            group_layout: &self.group_layout,
         }
     }
 
@@ -241,10 +385,18 @@ impl FlatHaIndex {
         FlatStoreView::from_parts_unchecked(self.parts())
     }
 
-    /// Serializes the snapshot into the persistent HA-Store v1 format
-    /// (see `ha_store::store_bytes`).
+    /// Serializes the snapshot into the persistent HA-Store format
+    /// (v2, carrying the per-group layout flags; see
+    /// `ha_store::store_bytes`).
     pub fn store_bytes(&self) -> Vec<u8> {
         ha_store::store_bytes(&self.parts())
+    }
+
+    /// Storage layout of group `gi` (0 = root group, `1 + p` = node
+    /// `p`'s child group).
+    #[inline]
+    fn layout_of(&self, gi: usize) -> GroupLayout {
+        GroupLayout::from_flag(self.group_layout.get(gi).copied().unwrap_or(0))
     }
 
     /// Exact point lookup over the sorted leaf directory: ids stored under
@@ -311,8 +463,8 @@ impl FlatHaIndex {
     fn pattern_of(&self, v: u32) -> MaskedCode {
         let rc = self.root_count as usize;
         let w = self.words;
-        let (base, g, s) = if (v as usize) < rc {
-            (0usize, rc, v as usize)
+        let (base, g, s, layout) = if (v as usize) < rc {
+            (0usize, rc, v as usize, self.layout_of(0))
         } else {
             let p = self.parent[v as usize];
             let lo = self.child_start[p as usize] as usize;
@@ -321,13 +473,22 @@ impl FlatHaIndex {
                 2 * w * (rc + lo),
                 hi - lo,
                 v as usize - rc - lo,
+                self.layout_of(p as usize + 1),
             )
         };
         let mut bits = vec![0u64; w];
         let mut mask = vec![0u64; w];
         for wi in 0..w {
-            bits[wi] = self.planes[base + 2 * wi * g + s];
-            mask[wi] = self.planes[base + (2 * wi + 1) * g + s];
+            match layout {
+                GroupLayout::Soa => {
+                    bits[wi] = self.planes[base + 2 * wi * g + s];
+                    mask[wi] = self.planes[base + (2 * wi + 1) * g + s];
+                }
+                GroupLayout::Aos => {
+                    bits[wi] = self.planes[base + s * 2 * w + wi];
+                    mask[wi] = self.planes[base + s * 2 * w + w + wi];
+                }
+            }
         }
         let bits = BinaryCode::from_words(&bits, self.code_len);
         let mask = BinaryCode::from_words(&mask, self.code_len);
@@ -386,7 +547,18 @@ impl FlatHaIndex {
         let mut events = Vec::new();
         if rc > 0 {
             dist.resize(rc, 0);
-            masked_distance_many(qw, &self.planes[..2 * w * rc], rc, u32::MAX, &mut dist);
+            // Scalar kernel, unlimited budget: nothing prunes, so every
+            // accumulator is exact — the trace reports the violating
+            // distance of pruned nodes, which a bailing kernel truncates.
+            masked_distance_group(
+                Kernel::Scalar,
+                self.layout_of(0),
+                qw,
+                &self.planes[..2 * w * rc],
+                rc,
+                u32::MAX,
+                &mut dist,
+            );
             for v in 0..rc {
                 visit(v as u32, dist[v], &mut events, &mut results, &mut queue);
             }
@@ -404,7 +576,15 @@ impl FlatHaIndex {
             let (planes, g, lo) = self.child_group(p);
             dist.clear();
             dist.resize(g, acc);
-            masked_distance_many(qw, planes, g, u32::MAX, &mut dist);
+            masked_distance_group(
+                Kernel::Scalar,
+                self.layout_of(p as usize + 1),
+                qw,
+                planes,
+                g,
+                u32::MAX,
+                &mut dist,
+            );
             for s in 0..g {
                 visit(
                     self.children[lo + s],
@@ -568,6 +748,58 @@ mod tests {
         assert_eq!(one.search(&BinaryCode::from_u64(5, 16), 0), vec![7]);
         let (_, steps) = one.search_trace(&BinaryCode::from_u64(5, 16), 0);
         assert!(!steps.is_empty());
+    }
+
+    #[test]
+    fn freeze_policy_variants_answer_identically() {
+        use crate::FreezePolicy;
+        let data = clustered_dataset(220, 128, 5, 4, 77);
+        let mut idx = DynamicHaIndex::build(data.clone());
+        let adaptive = idx.freeze().clone();
+        let soa = idx.freeze_with(FreezePolicy::always_soa()).clone();
+        let aos = idx.freeze_with(FreezePolicy::always_aos()).clone();
+        // 128-bit codes are multi-word, and a Gray forest always has
+        // narrow groups near the leaves — adaptive must convert some.
+        assert!(adaptive.aos_fraction() > 0.0, "adaptive found no narrow groups");
+        assert_eq!(soa.aos_fraction(), 0.0);
+        assert_eq!(aos.aos_fraction(), 1.0);
+        let mut rng = StdRng::seed_from_u64(78);
+        for h in [0u32, 3, 9, 25] {
+            let q = BinaryCode::random(128, &mut rng);
+            let want = soa.search(&q, h);
+            assert_eq!(adaptive.search(&q, h), want, "adaptive h={h}");
+            assert_eq!(aos.search(&q, h), want, "always-aos h={h}");
+            let (ids_s, steps_s) = soa.search_trace(&q, h);
+            let (ids_a, steps_a) = adaptive.search_trace(&q, h);
+            assert_eq!(ids_s, ids_a, "trace ids h={h}");
+            assert_eq!(steps_s, steps_a, "trace steps render identically h={h}");
+        }
+    }
+
+    #[test]
+    fn freeze_keeps_a_current_snapshot_but_freeze_with_recompiles() {
+        let data = clustered_dataset(120, 512, 3, 4, 79);
+        let mut idx = DynamicHaIndex::build(data);
+        idx.freeze();
+        assert!(idx.flat().expect("frozen").aos_fraction() > 0.0);
+        idx.freeze_with(crate::FreezePolicy::always_soa());
+        assert_eq!(idx.flat().expect("refrozen").aos_fraction(), 0.0);
+        assert!(idx.flat_is_current());
+        // Idempotent freeze must not silently replace the chosen layout.
+        idx.freeze();
+        assert_eq!(idx.flat().expect("kept").aos_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_word_codes_stay_soa_under_adaptive() {
+        let data = clustered_dataset(200, 64, 4, 3, 80);
+        let mut idx = DynamicHaIndex::build(data);
+        idx.freeze();
+        assert_eq!(
+            idx.flat().expect("frozen").aos_fraction(),
+            0.0,
+            "AoS only pays for multi-word codes"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod node;
 mod search;
 mod serialize;
 
-pub use flat::FlatHaIndex;
+pub use flat::{FlatHaIndex, FreezePolicy};
 pub use search::{TraceEvent, TraceStep};
 pub use serialize::DecodeError;
 
@@ -338,8 +338,21 @@ impl DynamicHaIndex {
         if !current {
             let dropped = self.compact();
             ha_obs::add("core.flat.compacted_nodes", dropped as u64);
-            self.flat = Some(flat::compile(self));
+            self.flat = Some(flat::compile(self, FreezePolicy::default()));
         }
+        self.flat.as_ref().expect("snapshot just installed")
+    }
+
+    /// Freezes under an explicit [`FreezePolicy`], always recompiling —
+    /// unlike [`DynamicHaIndex::freeze`], which keeps a current snapshot
+    /// as-is, this replaces whatever is installed so the caller can
+    /// switch layouts (e.g. the DESIGN.md ablation's
+    /// [`FreezePolicy::always_soa`]) without mutating the index first.
+    pub fn freeze_with(&mut self, policy: FreezePolicy) -> &FlatHaIndex {
+        maintain::flush_buffer(self);
+        let dropped = self.compact();
+        ha_obs::add("core.flat.compacted_nodes", dropped as u64);
+        self.flat = Some(flat::compile(self, policy));
         self.flat.as_ref().expect("snapshot just installed")
     }
 

@@ -47,7 +47,7 @@ pub mod testkit;
 
 pub use delta::{DeltaBase, DeltaIndex, DeltaOp};
 pub use mapped::MappedIndex;
-pub use dynamic::{DhaConfig, DynamicHaIndex, FlatHaIndex};
+pub use dynamic::{DhaConfig, DynamicHaIndex, FlatHaIndex, FreezePolicy};
 pub use hengine::HEngine;
 pub use hmsearch::HmSearch;
 pub use linear::LinearScanIndex;

@@ -181,6 +181,22 @@ impl CostModel {
         self.flat_row_h_ns * p.n as f64 * f64::from(h + 1) * sparsity
     }
 
+    /// [`CostModel::flat_cost`] for a snapshot whose freeze policy laid
+    /// `aos_fraction` of its sibling groups out row-major. The sparse
+    /// penalty models the SoA stride tax on narrow groups — exactly the
+    /// groups the adaptive policy converts to AoS, whose per-sibling
+    /// early exit behaves like the arena — so the penalty scales down
+    /// with the fraction converted: at `aos_fraction = 1.0` no stride
+    /// tax remains. Routers with access to a live snapshot
+    /// ([`PlannedIndex`], [`DhaRouter`]) cost the flat backend this
+    /// way; the context-free [`choose`] keeps the conservative
+    /// all-SoA estimate.
+    pub fn flat_cost_adaptive(&self, p: &DataProfile, h: u32, aos_fraction: f64) -> f64 {
+        let soa_share = 1.0 - aos_fraction.clamp(0.0, 1.0);
+        let sparsity = 1.0 + self.flat_sparse_penalty * (1.0 - p.clusteredness) * soa_share;
+        self.flat_row_h_ns * p.n as f64 * f64::from(h + 1) * sparsity
+    }
+
     /// Estimated ns for MIH: exact probe count (the same pigeonhole
     /// budget [`MihIndex::probe_estimate`] computes) plus expected
     /// candidate verifications, assuming per-chunk bucket occupancy
@@ -230,13 +246,31 @@ impl CostModel {
 /// [`Backend::Linear`] when `available` is empty (a scan needs no
 /// structure).
 pub fn choose(model: &CostModel, profile: &DataProfile, h: u32, available: &[Backend]) -> Backend {
+    choose_with_aos(model, profile, h, available, 0.0)
+}
+
+/// [`choose`] with snapshot-layout context: the flat backend is costed
+/// via [`CostModel::flat_cost_adaptive`] at the given AoS group
+/// fraction (`FlatHaIndex::aos_fraction`). At `aos_fraction = 0.0` this
+/// is exactly [`choose`] — all-SoA is the conservative baseline the
+/// pinned decision table is built on.
+pub fn choose_with_aos(
+    model: &CostModel,
+    profile: &DataProfile,
+    h: u32,
+    available: &[Backend],
+    aos_fraction: f64,
+) -> Backend {
     let mut best = Backend::Linear;
     let mut best_cost = f64::INFINITY;
     for b in Backend::ALL {
         if !available.contains(&b) {
             continue;
         }
-        let c = model.cost(b, profile, h);
+        let c = match b {
+            Backend::HaFlat => model.flat_cost_adaptive(profile, h, aos_fraction),
+            _ => model.cost(b, profile, h),
+        };
         if c < best_cost {
             best = b;
             best_cost = c;
@@ -338,8 +372,11 @@ impl PlannedIndex {
     }
 
     /// The backend [`HammingIndex::search`] would use at threshold `h`.
+    /// When a current snapshot exists, its recorded layout mix feeds the
+    /// flat estimate ([`CostModel::flat_cost_adaptive`]).
     pub fn backend_for(&self, h: u32) -> Backend {
-        choose(&self.model, &self.profile(), h, &self.available())
+        let aos = self.dha.flat().map_or(0.0, crate::FlatHaIndex::aos_fraction);
+        choose_with_aos(&self.model, &self.profile(), h, &self.available(), aos)
     }
 
     /// Routed search that also reports which backend answered.
@@ -509,7 +546,8 @@ impl<'a> DhaRouter<'a> {
         if self.dha.flat_is_current() {
             avail.insert(0, Backend::HaFlat);
         }
-        choose(&self.model, &self.profile, h, &avail)
+        let aos = self.dha.flat().map_or(0.0, crate::FlatHaIndex::aos_fraction);
+        choose_with_aos(&self.model, &self.profile, h, &avail, aos)
     }
 
     /// Routed select, ids ascending.
@@ -588,6 +626,24 @@ mod tests {
         // Tiny dataset: scanning wins.
         let tiny = DataProfile { bits: 64, n: 24, clusteredness: 0.3 };
         assert_eq!(choose(&model, &tiny, 30, &Backend::ALL), Backend::Linear);
+    }
+
+    #[test]
+    fn aos_fraction_discounts_the_flat_sparse_penalty() {
+        let model = CostModel::default();
+        let p = DataProfile { bits: 512, n: 6000, clusteredness: 0.2 };
+        // Zero fraction is exactly the context-free estimate — the
+        // invariant that keeps the pinned decision table valid.
+        assert_eq!(model.flat_cost_adaptive(&p, 3, 0.0), model.flat_cost(&p, 3));
+        assert_eq!(choose_with_aos(&model, &p, 3, &Backend::ALL, 0.0),
+                   choose(&model, &p, 3, &Backend::ALL));
+        // A fully converted snapshot sheds the whole stride tax.
+        let full = model.flat_cost_adaptive(&p, 3, 1.0);
+        assert!(full < model.flat_cost(&p, 3));
+        assert_eq!(full, model.flat_row_h_ns * 6000.0 * 4.0);
+        // Out-of-range fractions clamp instead of extrapolating.
+        assert_eq!(model.flat_cost_adaptive(&p, 3, 2.0), full);
+        assert_eq!(model.flat_cost_adaptive(&p, 3, -1.0), model.flat_cost(&p, 3));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!
 //! * **Write** ([`store_bytes`] / [`write_store_file`]): fixed 64-byte
 //!   header (magic, version, endianness tag, code geometry, counts), a
-//!   section table, eight 64-byte-aligned sections, FNV-1a footer. All
+//!   section table, nine 64-byte-aligned sections (v2 added the
+//!   per-group layout flags the adaptive freeze policy records; v1
+//!   files remain readable and mean all-SoA), FNV-1a footer. All
 //!   little-endian, atomically published via temp-file + rename.
 //! * **Open** ([`HaStore::open_file`] / [`HaStore::open_bytes`]):
 //!   `mmap` the file read-only (owned aligned buffer as the fallback),
@@ -40,7 +42,7 @@
 //!     code_len: 16, words: 1, root_count: 0, tuple_count: 0, epoch: 0,
 //!     child_start: &child_start, children: &[], planes: &[],
 //!     leaf_slot: &[], leaf_code_words: &[], leaf_ids_start: &leaf_ids_start,
-//!     leaf_ids: &[], leaf_sorted: &[],
+//!     leaf_ids: &[], leaf_sorted: &[], group_layout: &[],
 //! };
 //! let store = HaStore::open_bytes(store_bytes(&parts)).unwrap();
 //! assert!(store.view().search(&BinaryCode::zero(16), 16).is_empty());

@@ -35,7 +35,7 @@
 //! every frontier node is visited at most once, and the traversal
 //! terminates after at most `node_count` pops.
 
-use ha_bitcode::{masked_distance_many, BinaryCode};
+use ha_bitcode::{masked_distance_group, BinaryCode, GroupLayout, Kernel};
 
 use crate::error::StoreError;
 
@@ -74,6 +74,11 @@ pub struct FlatParts<'a> {
     /// Leaf slots ordered by code row, lexicographically ascending —
     /// the zero-copy point-lookup directory, length `leaf_count`.
     pub leaf_sorted: &'a [u32],
+    /// Per-group storage layout flags: entry 0 is the root group, entry
+    /// `1 + p` is node `p`'s child group; `0` = SoA word-planes, `1` =
+    /// AoS rows. Either empty (legacy all-SoA snapshots, v1 files) or
+    /// exactly `node_count + 1` long.
+    pub group_layout: &'a [u8],
 }
 
 /// Reusable traversal buffers — two swapped level-synchronous frontiers
@@ -91,6 +96,7 @@ pub struct Scratch {
 #[derive(Clone, Copy, Debug)]
 pub struct FlatStoreView<'a> {
     parts: FlatParts<'a>,
+    kernel: Kernel,
 }
 
 impl<'a> FlatStoreView<'a> {
@@ -219,7 +225,18 @@ impl<'a> FlatStoreView<'a> {
         if leaves == 1 && parts.leaf_sorted[0] != 0 {
             return Err(StoreError::Corrupt("sorted leaf index out of range"));
         }
-        Ok(FlatStoreView { parts })
+        // Layout flags: absent entirely (legacy all-SoA) or one byte
+        // per group with only the two defined values — an undefined
+        // flag would silently scramble every distance over its group.
+        if !parts.group_layout.is_empty() {
+            if parts.group_layout.len() != n + 1 {
+                return Err(StoreError::Corrupt("group layout length mismatch"));
+            }
+            if parts.group_layout.iter().any(|&f| f > 1) {
+                return Err(StoreError::Corrupt("undefined group layout flag"));
+            }
+        }
+        Ok(FlatStoreView { parts, kernel: Kernel::auto() })
     }
 
     /// Wraps `parts` without validation — for arrays correct by
@@ -227,7 +244,22 @@ impl<'a> FlatStoreView<'a> {
     /// already passed [`FlatStoreView::new`]). Still memory-safe for
     /// arbitrary inputs; see the module docs.
     pub fn from_parts_unchecked(parts: FlatParts<'a>) -> FlatStoreView<'a> {
-        FlatStoreView { parts }
+        FlatStoreView { parts, kernel: Kernel::auto() }
+    }
+
+    /// Same view, running its group sweeps on `kernel` instead of
+    /// [`Kernel::auto`]. Every kernel computes identical distances
+    /// (pinned by the equivalence suite); this only selects the
+    /// instruction pattern — scalar for tracing/debugging, lanes or
+    /// simd for throughput.
+    pub fn with_kernel(mut self, kernel: Kernel) -> FlatStoreView<'a> {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel this view dispatches group sweeps to.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The underlying borrowed arrays.
@@ -295,6 +327,14 @@ impl<'a> FlatStoreView<'a> {
         )
     }
 
+    /// Storage layout of group `gi` (0 = root group, `1 + p` = node
+    /// `p`'s child group). An absent flag array means all-SoA — both
+    /// legacy snapshots and v1 files land here.
+    #[inline]
+    fn layout_of(&self, gi: usize) -> GroupLayout {
+        GroupLayout::from_flag(self.parts.group_layout.get(gi).copied().unwrap_or(0))
+    }
+
     /// Core level-synchronous traversal — ported verbatim from
     /// `FlatHaIndex::run` so visit order (and thus result order) is
     /// byte-for-byte identical to a freshly frozen in-memory index.
@@ -319,7 +359,15 @@ impl<'a> FlatStoreView<'a> {
         // Top level: one kernel call over the root group.
         dist.clear();
         dist.resize(rc, 0);
-        masked_distance_many(qw, &self.parts.planes[..2 * w * rc], rc, h, dist);
+        masked_distance_group(
+            self.kernel,
+            self.layout_of(0),
+            qw,
+            &self.parts.planes[..2 * w * rc],
+            rc,
+            h,
+            dist,
+        );
         for v in 0..rc {
             let d = dist[v];
             if d <= h {
@@ -341,7 +389,15 @@ impl<'a> FlatStoreView<'a> {
                 let (planes, g, lo) = self.child_group(p);
                 dist.clear();
                 dist.resize(g, acc);
-                masked_distance_many(qw, planes, g, h, dist);
+                masked_distance_group(
+                    self.kernel,
+                    self.layout_of(p as usize + 1),
+                    qw,
+                    planes,
+                    g,
+                    h,
+                    dist,
+                );
                 for s in 0..g {
                     let d = dist[s];
                     if d <= h {
@@ -485,6 +541,7 @@ mod tests {
         leaf_ids_start: Vec<u32>,
         leaf_ids: Vec<u64>,
         leaf_sorted: Vec<u32>,
+        group_layout: Vec<u8>,
     }
 
     fn bc(bits: u64) -> BinaryCode {
@@ -515,7 +572,21 @@ mod tests {
                 leaf_ids_start: vec![0, 2, 3],
                 leaf_ids: vec![10, 11, 20],
                 leaf_sorted: vec![0, 1],
+                group_layout: vec![0, 0, 0, 0],
             }
+        }
+
+        /// Rewrites the root's child group (the only multi-word-free
+        /// group here) into AoS row order and flips its flag.
+        fn to_aos_child_group(&mut self) {
+            // SoA child group at planes[2..6]: [bits a, bits b, mask, mask].
+            // AoS with words = 1: [bits a, mask a, bits b, mask b].
+            let (a, b, ma, mb) = (self.planes[2], self.planes[3], self.planes[4], self.planes[5]);
+            self.planes[2] = a;
+            self.planes[3] = ma;
+            self.planes[4] = b;
+            self.planes[5] = mb;
+            self.group_layout[1] = 1;
         }
 
         fn parts(&self) -> FlatParts<'_> {
@@ -533,6 +604,7 @@ mod tests {
                 leaf_ids_start: &self.leaf_ids_start,
                 leaf_ids: &self.leaf_ids,
                 leaf_sorted: &self.leaf_sorted,
+                group_layout: &self.group_layout,
             }
         }
     }
@@ -562,6 +634,10 @@ mod tests {
             ("id offsets ragged", Box::new(|t| t.leaf_ids_start[2] = 99)),
             ("sorted dir out of order", Box::new(|t| t.leaf_sorted.swap(0, 1))),
             ("sorted index range", Box::new(|t| t.leaf_sorted[0] = 3)),
+            ("layout length", Box::new(|t| {
+                t.group_layout.pop();
+            })),
+            ("undefined layout flag", Box::new(|t| t.group_layout[0] = 2)),
         ];
         for (what, mutate) in cases {
             let mut t = Tiny::build();
@@ -602,10 +678,41 @@ mod tests {
             leaf_ids_start: &leaf_ids_start,
             leaf_ids: &[],
             leaf_sorted: &[],
+            group_layout: &[],
         };
         let view = FlatStoreView::new(parts).expect("empty is valid");
         assert!(view.is_empty());
         assert!(view.search(&BinaryCode::zero(16), 16).is_empty());
         assert!(view.items().next().is_none());
+    }
+
+    #[test]
+    fn aos_group_answers_identically_under_every_kernel() {
+        let soa = Tiny::build();
+        let soa_view = FlatStoreView::new(soa.parts()).expect("valid");
+        let mut aos = Tiny::build();
+        aos.to_aos_child_group();
+        let aos_view = FlatStoreView::new(aos.parts()).expect("AoS flag is valid");
+        for q in [bc(0b1010_0000), bc(0b1111_0000), bc(0b0000_0001)] {
+            for h in 0..=8 {
+                let want = soa_view.search(&q, h);
+                for k in Kernel::ALL {
+                    assert_eq!(
+                        aos_view.with_kernel(k).search(&q, h),
+                        want,
+                        "kernel {} must match SoA baseline at h={h}",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_kernel_overrides_the_auto_choice() {
+        let t = Tiny::build();
+        let view = FlatStoreView::new(t.parts()).expect("valid");
+        assert_eq!(view.kernel(), Kernel::auto());
+        assert_eq!(view.with_kernel(Kernel::Scalar).kernel(), Kernel::Scalar);
     }
 }

@@ -1,18 +1,25 @@
-//! Serializer for the HA-Store v1 snapshot format.
+//! Serializer for the HA-Store snapshot format.
 //!
 //! The writer is the mirror of [`crate::layout::parse`]: it lays the
-//! eight sections out 64-byte aligned in the fixed order, zero-pads the
+//! nine sections out 64-byte aligned in the fixed order, zero-pads the
 //! gaps, and seals the file with the FNV-1a footer. Everything is
 //! little-endian regardless of host byte order, so files written here
 //! open zero-copy on any little-endian machine and are rejected with a
 //! typed error (never misread) elsewhere.
+//!
+//! [`store_bytes`] writes the current version 2 (with the per-group
+//! layout section the adaptive freeze policy fills in);
+//! [`store_bytes_v1`] still emits the legacy 8-section version 1
+//! envelope — it exists so the v1-compatibility tests exercise the real
+//! read path against real old bytes, and it refuses snapshots that
+//! contain any AoS group (v1 has nowhere to record the flag).
 
 use ha_bitcode::fnv::fnv64;
 
 use crate::error::StoreError;
 use crate::layout::{
-    align_up, section, ENDIAN_TAG, FOOTER_BYTES, HEADER_BYTES, MAGIC, SECTION_COUNT, TABLE_BYTES,
-    VERSION,
+    align_up, section, ENDIAN_TAG, FOOTER_BYTES, HEADER_BYTES, MAGIC, SECTION_COUNT,
+    SECTION_COUNT_V1, VERSION, VERSION_V1,
 };
 use crate::view::FlatParts;
 
@@ -32,22 +39,55 @@ fn put_u64s(out: &mut Vec<u8>, at: usize, vals: &[u64]) {
     }
 }
 
-/// Serializes one frozen snapshot into the v1 wire format.
+/// Serializes one frozen snapshot into the current (v2) wire format.
 pub fn store_bytes(parts: &FlatParts<'_>) -> Vec<u8> {
+    // A snapshot compiled before the adaptive policy (or hand-built
+    // parts) may carry an empty layout slice; normalize to the explicit
+    // all-SoA byte-per-group form v2 requires.
+    let node_count = parts.leaf_slot.len();
+    let default_layout;
+    let layout: &[u8] = if parts.group_layout.len() == node_count + 1 {
+        parts.group_layout
+    } else {
+        default_layout = vec![0u8; node_count + 1];
+        &default_layout
+    };
+    emit(parts, VERSION, Some(layout))
+}
+
+/// Serializes one frozen snapshot into the legacy v1 wire format, for
+/// compatibility tests against the current reader. Fails with a typed
+/// error if any group is AoS — v1 cannot represent the flag, and
+/// silently dropping it would corrupt every search over the file.
+pub fn store_bytes_v1(parts: &FlatParts<'_>) -> Result<Vec<u8>, StoreError> {
+    if parts.group_layout.iter().any(|&f| f != 0) {
+        return Err(StoreError::Corrupt(
+            "v1 cannot encode AoS groups; refreeze with the SoA-only policy",
+        ));
+    }
+    Ok(emit(parts, VERSION_V1, None))
+}
+
+/// Shared section-table emitter. `layout` is `Some` exactly for v2.
+fn emit(parts: &FlatParts<'_>, version: u16, layout: Option<&[u8]>) -> Vec<u8> {
+    let sections = if layout.is_some() { SECTION_COUNT } else { SECTION_COUNT_V1 };
+    let table_bytes = sections * 16;
+
     // Section byte lengths, in file order (see layout docs).
-    let lens: [usize; SECTION_COUNT] = [
-        parts.child_start.len() * 4,
-        parts.children.len() * 4,
-        parts.planes.len() * 8,
-        parts.leaf_slot.len() * 4,
-        parts.leaf_code_words.len() * 8,
-        parts.leaf_ids_start.len() * 4,
-        parts.leaf_ids.len() * 8,
-        parts.leaf_sorted.len() * 4,
-    ];
+    let mut lens = [0usize; SECTION_COUNT];
+    lens[section::CHILD_START] = parts.child_start.len() * 4;
+    lens[section::CHILDREN] = parts.children.len() * 4;
+    lens[section::PLANES] = parts.planes.len() * 8;
+    lens[section::LEAF_SLOT] = parts.leaf_slot.len() * 4;
+    lens[section::LEAF_CODES] = parts.leaf_code_words.len() * 8;
+    lens[section::LEAF_IDS_START] = parts.leaf_ids_start.len() * 4;
+    lens[section::LEAF_IDS] = parts.leaf_ids.len() * 8;
+    lens[section::LEAF_SORTED] = parts.leaf_sorted.len() * 4;
+    lens[section::GROUP_LAYOUT] = layout.map_or(0, <[u8]>::len);
+
     let mut offsets = [0usize; SECTION_COUNT];
-    let mut at = align_up(HEADER_BYTES + TABLE_BYTES);
-    for (o, &len) in offsets.iter_mut().zip(&lens) {
+    let mut at = align_up(HEADER_BYTES + table_bytes);
+    for (o, &len) in offsets.iter_mut().zip(&lens).take(sections) {
         *o = at;
         at = align_up(at + len);
     }
@@ -56,9 +96,9 @@ pub fn store_bytes(parts: &FlatParts<'_>) -> Vec<u8> {
 
     // Fixed header.
     out[0..8].copy_from_slice(&MAGIC);
-    out[8..10].copy_from_slice(&VERSION.to_le_bytes());
+    out[8..10].copy_from_slice(&version.to_le_bytes());
     out[10..12].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
-    out[12..16].copy_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    out[12..16].copy_from_slice(&(sections as u32).to_le_bytes());
     out[16..20].copy_from_slice(&(parts.code_len as u32).to_le_bytes());
     out[20..24].copy_from_slice(&(parts.words as u32).to_le_bytes());
     out[24..28].copy_from_slice(&(parts.root_count as u32).to_le_bytes());
@@ -69,7 +109,7 @@ pub fn store_bytes(parts: &FlatParts<'_>) -> Vec<u8> {
     out[56..64].copy_from_slice(&parts.epoch.to_le_bytes());
 
     // Section table.
-    for i in 0..SECTION_COUNT {
+    for i in 0..sections {
         let at = HEADER_BYTES + 16 * i;
         out[at..at + 8].copy_from_slice(&(offsets[i] as u64).to_le_bytes());
         out[at + 8..at + 16].copy_from_slice(&(lens[i] as u64).to_le_bytes());
@@ -84,6 +124,10 @@ pub fn store_bytes(parts: &FlatParts<'_>) -> Vec<u8> {
     put_u32s(&mut out, offsets[section::LEAF_IDS_START], parts.leaf_ids_start);
     put_u64s(&mut out, offsets[section::LEAF_IDS], parts.leaf_ids);
     put_u32s(&mut out, offsets[section::LEAF_SORTED], parts.leaf_sorted);
+    if let Some(layout) = layout {
+        let o = offsets[section::GROUP_LAYOUT];
+        out[o..o + layout.len()].copy_from_slice(layout);
+    }
 
     // Seal: FNV-1a over everything before the footer.
     let sum = fnv64(&out[..body_len]);
@@ -108,25 +152,30 @@ mod tests {
     use super::*;
     use crate::layout;
 
-    #[test]
-    fn written_bytes_parse_back_to_the_same_meta() {
-        let child_start = [0u32];
-        let leaf_ids_start = [0u32];
-        let parts = FlatParts {
+    fn empty_parts<'a>(child_start: &'a [u32], leaf_ids_start: &'a [u32]) -> FlatParts<'a> {
+        FlatParts {
             code_len: 96,
             words: 2,
             root_count: 0,
             tuple_count: 0,
             epoch: 42,
-            child_start: &child_start,
+            child_start,
             children: &[],
             planes: &[],
             leaf_slot: &[],
             leaf_code_words: &[],
-            leaf_ids_start: &leaf_ids_start,
+            leaf_ids_start,
             leaf_ids: &[],
             leaf_sorted: &[],
-        };
+            group_layout: &[],
+        }
+    }
+
+    #[test]
+    fn written_bytes_parse_back_to_the_same_meta() {
+        let child_start = [0u32];
+        let leaf_ids_start = [0u32];
+        let parts = empty_parts(&child_start, &leaf_ids_start);
         let bytes = store_bytes(&parts);
         let (meta, ranges) = layout::parse(&bytes).expect("round-trips");
         assert_eq!(meta.code_len, 96);
@@ -136,5 +185,34 @@ mod tests {
         for r in &ranges {
             assert_eq!(r.start % layout::ALIGN, 0);
         }
+        // v2 always carries the explicit layout section: one byte (the
+        // root-group flag) even for an empty forest.
+        assert_eq!(ranges[layout::section::GROUP_LAYOUT].len(), 1);
+    }
+
+    #[test]
+    fn legacy_v1_bytes_parse_with_empty_layout_range() {
+        let child_start = [0u32];
+        let leaf_ids_start = [0u32];
+        let parts = empty_parts(&child_start, &leaf_ids_start);
+        let bytes = store_bytes_v1(&parts).expect("all-SoA serializes as v1");
+        assert_eq!(bytes[8], 1, "version byte");
+        let (meta, ranges) = layout::parse(&bytes).expect("v1 stays readable");
+        assert_eq!(meta.code_len, 96);
+        assert_eq!(
+            ranges[layout::section::GROUP_LAYOUT],
+            0..0,
+            "v1 has no layout section; empty range reads as all-SoA"
+        );
+    }
+
+    #[test]
+    fn v1_writer_refuses_aos_groups() {
+        let child_start = [0u32];
+        let leaf_ids_start = [0u32];
+        let mut parts = empty_parts(&child_start, &leaf_ids_start);
+        let layout_flags = [1u8];
+        parts.group_layout = &layout_flags;
+        assert!(store_bytes_v1(&parts).is_err());
     }
 }

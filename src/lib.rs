@@ -67,3 +67,7 @@ pub struct ArchitectureDoctests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/OBSERVABILITY.md")]
 pub struct ObservabilityDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/KERNELS.md")]
+pub struct KernelsDoctests;

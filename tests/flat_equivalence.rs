@@ -7,9 +7,12 @@
 //! epoch-invalidation path (mutate after freeze → stale snapshot must be
 //! bypassed, refreeze must revalidate).
 
-use hamming_suite::bitcode::BinaryCode;
+use hamming_suite::bitcode::{BinaryCode, Kernel};
 use hamming_suite::index::testkit::assert_matches_oracle;
-use hamming_suite::index::{DhaConfig, DynamicHaIndex, HammingIndex, MutableIndex, TupleId};
+use hamming_suite::index::{
+    DhaConfig, DynamicHaIndex, FreezePolicy, HammingIndex, MutableIndex, TupleId,
+};
+use hamming_suite::store::HaStore;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -253,6 +256,159 @@ proptest! {
         let hits = idx.search(&live[0].0, 0);
         prop_assert_eq!(hits, vec![live[0].1]);
     }
+}
+
+/// The HA-Kern matrix: every kernel (scalar, lane-chunked, simd — which
+/// falls back to lanes without the nightly `simd` feature, keeping the
+/// matrix uniform across both CI configs) × every freeze-policy layout
+/// (all-SoA, all-AoS, adaptive) must answer select, kNN and batch
+/// byte-identically to the scalar/all-SoA baseline, and the baseline
+/// must match the linear-scan oracle. This is the contract that makes
+/// kernel choice a pure performance knob.
+fn kernel_matrix_case(seed: u64, bits: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 60 + (seed as usize % 40);
+    let live = dataset(&mut rng, n, bits);
+    let mut idx = DynamicHaIndex::build(live.clone());
+    let queries: Vec<BinaryCode> = (0..3)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                let mut q = live[rng.gen_range(0..live.len())].0.clone();
+                q.flip(rng.gen_range(0..bits));
+                q
+            } else {
+                BinaryCode::random(bits, &mut rng)
+            }
+        })
+        .collect();
+    let radii: Vec<u32> = vec![0, 2, (bits / 8) as u32, (bits / 3) as u32];
+
+    let policies = [
+        ("soa", FreezePolicy::always_soa()),
+        ("aos", FreezePolicy::always_aos()),
+        ("adaptive", FreezePolicy::adaptive()),
+    ];
+    // Baseline: scalar kernel over the all-SoA layout.
+    idx.freeze_with(FreezePolicy::always_soa());
+    let baseline = idx.flat().expect("frozen").clone();
+    let knn_base: Vec<Vec<Vec<(TupleId, u32)>>> = queries
+        .iter()
+        .map(|q| [1usize, 5].iter().map(|&k| knn(&idx, q, k)).collect())
+        .collect();
+    for q in &queries {
+        for &h in &radii {
+            let want = baseline.view().with_kernel(Kernel::Scalar).search(q, h);
+            assert_matches_oracle(want, &live, q, h, "scalar/SoA baseline");
+        }
+    }
+
+    for (pname, policy) in policies {
+        idx.freeze_with(policy);
+        let flat = idx.flat().expect("frozen").clone();
+        for kernel in Kernel::ALL {
+            let view = flat.view().with_kernel(kernel);
+            for q in &queries {
+                for &h in &radii {
+                    assert_eq!(
+                        view.search(q, h),
+                        baseline.view().with_kernel(Kernel::Scalar).search(q, h),
+                        "select: bits={bits} layout={pname} kernel={} h={h}",
+                        kernel.name()
+                    );
+                    assert_eq!(
+                        view.search_with_distances(q, h),
+                        baseline
+                            .view()
+                            .with_kernel(Kernel::Scalar)
+                            .search_with_distances(q, h),
+                        "distances: bits={bits} layout={pname} kernel={}",
+                        kernel.name()
+                    );
+                }
+            }
+            assert_eq!(
+                view.batch_search(&queries, radii[2]),
+                baseline
+                    .view()
+                    .with_kernel(Kernel::Scalar)
+                    .batch_search(&queries, radii[2]),
+                "batch: bits={bits} layout={pname} kernel={}",
+                kernel.name()
+            );
+        }
+        // kNN rides on search_with_distances through the index surface;
+        // one pass per policy (the index dispatches Kernel::auto()).
+        for (i, q) in queries.iter().enumerate() {
+            for (ki, k) in [1usize, 5].into_iter().enumerate() {
+                assert_eq!(
+                    knn(&idx, q, k),
+                    knn_base[i][ki],
+                    "kNN: bits={bits} layout={pname} q={i} k={k}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The kernel × layout matrix at every paper-relevant code width.
+    #[test]
+    fn kernel_matrix_byte_equal_at_every_width(seed in any::<u64>()) {
+        for bits in [32usize, 64, 128, 512] {
+            kernel_matrix_case(seed, bits);
+        }
+    }
+}
+
+/// An adaptively laid-out snapshot must survive the full persistence
+/// round trip: serialize (v2, with per-group layout flags), reopen via
+/// mmap, and answer byte-identically under every kernel.
+#[test]
+fn adaptive_layout_store_round_trips_via_mmap() {
+    let mut rng = StdRng::seed_from_u64(515);
+    let live = dataset(&mut rng, 300, 512);
+    let mut idx = DynamicHaIndex::build(live.clone());
+    idx.freeze_with(FreezePolicy::adaptive());
+    let flat = idx.flat().expect("frozen");
+    assert!(
+        flat.aos_fraction() > 0.0,
+        "512-bit clustered data must produce AoS groups"
+    );
+    let bytes = flat.store_bytes();
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("ha-kern-roundtrip-{}.hst", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write snapshot");
+    let store = HaStore::open_file(&path).expect("adaptive v2 file opens");
+    #[cfg(unix)]
+    assert!(store.is_mapped(), "unix open should mmap");
+    let mapped = store.view();
+    assert!(
+        mapped.parts().group_layout.iter().any(|&f| f == 1),
+        "layout flags must survive serialization"
+    );
+    for trial in 0..4 {
+        let q = if trial % 2 == 0 {
+            live[rng.gen_range(0..live.len())].0.clone()
+        } else {
+            BinaryCode::random(512, &mut rng)
+        };
+        for h in [0u32, 8, 60, 170] {
+            let want = flat.search(&q, h);
+            assert_matches_oracle(want.clone(), &live, &q, h, "frozen adaptive");
+            for kernel in Kernel::ALL {
+                assert_eq!(
+                    mapped.with_kernel(kernel).search(&q, h),
+                    want,
+                    "mmap kernel={} h={h}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 /// Spot check: the frozen snapshot of a parallel H-Build answers exactly

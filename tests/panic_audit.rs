@@ -91,6 +91,12 @@ const BUDGET: &[(&str, usize, usize, usize, usize)] = &[
     // a typed `StoreError`, never a panic — the corruption suite fuzzes
     // exactly this promise. The one `unsafe` region (mmap + aligned
     // reinterpret casts in buf.rs) is documented at the module head.
+    // HA-Kern is the innermost loop of every frozen search — every
+    // group sweep of every query on every layer runs through it — so it
+    // carries the same zero budget as the serving hot path. Shape
+    // violations are `assert_eq!` contract checks at the dispatch
+    // boundary, not panic-capable escape hatches in kernel bodies.
+    ("crates/bitcode/src/kernels.rs", 0, 0, 0, 0),
     ("crates/store/src/buf.rs", 0, 0, 0, 0),
     ("crates/store/src/error.rs", 0, 0, 0, 0),
     ("crates/store/src/layout.rs", 0, 0, 0, 0),
