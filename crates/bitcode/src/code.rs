@@ -329,6 +329,27 @@ impl BinaryCode {
         out
     }
 
+    /// FNV-1a hash of the packed wire form, computed straight off the
+    /// words — exactly `fnv64(&self.to_packed_bytes())` without the
+    /// per-call `Vec`. Shard routing hashes every routed mutation and
+    /// query, so this equality is load-bearing: persisted services would
+    /// mis-route recovered codes if the two ever diverged (pinned by a
+    /// proptest below).
+    pub fn packed_fnv64(&self) -> u64 {
+        let nbytes = self.len().div_ceil(8);
+        let words = self.words();
+        let mut h = crate::fnv::Fnv64::new();
+        let full_words = nbytes / 8;
+        for &w in &words[..full_words] {
+            h.write(&w.to_be_bytes());
+        }
+        for byte_i in full_words * 8..nbytes {
+            let word = words[byte_i / 8];
+            h.write(&[(word >> (56 - 8 * (byte_i % 8))) as u8]);
+        }
+        h.finish()
+    }
+
     /// Rebuilds a `len`-bit code from its packed form (inverse of
     /// [`BinaryCode::to_packed_bytes`]). Bits beyond `len` in the final
     /// byte are ignored.
@@ -633,6 +654,24 @@ mod tests {
             let packed = c.to_packed_bytes();
             assert_eq!(packed.len(), len.div_ceil(8));
             assert_eq!(BinaryCode::from_packed_bytes(&packed, len), c, "len={len}");
+        }
+    }
+
+    #[test]
+    fn packed_fnv64_equals_hashing_the_packed_bytes() {
+        // Shard routing depends on this equality bit-for-bit: services
+        // persisted before the alloc-free hash must route recovered
+        // codes to the same shards after it.
+        let mut rng = StdRng::seed_from_u64(78);
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 100, 128, 200, 512] {
+            for _ in 0..16 {
+                let c = BinaryCode::random(len, &mut rng);
+                assert_eq!(
+                    c.packed_fnv64(),
+                    crate::fnv::fnv64(&c.to_packed_bytes()),
+                    "len={len}"
+                );
+            }
         }
     }
 

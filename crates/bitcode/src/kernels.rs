@@ -119,6 +119,33 @@ impl Kernel {
         }
     }
 
+    /// The best kernel for the CPU this process is *running on*, probed
+    /// once and cached: [`Kernel::auto`] when the hardware popcount the
+    /// lane-chunked kernels lean on is actually present, the branchy
+    /// scalar reference otherwise. Compile-time selection
+    /// ([`Kernel::auto`]) answers "what did we build?"; this answers
+    /// "what should this process run?" — the distinction matters for
+    /// portable binaries built without `-C target-cpu=native`.
+    ///
+    /// Every kernel computes identical distances, so the choice is pure
+    /// performance: callers (freeze, serve) may cache or override it
+    /// freely without affecting results.
+    pub fn detect() -> Kernel {
+        static DETECTED: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Without POPCNT the unrolled `count_ones` chains in the
+                // lane kernels lower to the slow bit-twiddling expansion;
+                // the short-circuiting scalar loop wins there.
+                if !std::arch::is_x86_feature_detected!("popcnt") {
+                    return Kernel::Scalar;
+                }
+            }
+            Kernel::auto()
+        })
+    }
+
     /// False only for `Simd` in builds without the `simd` feature, where
     /// dispatch substitutes the lane-chunked kernels.
     pub fn is_native(self) -> bool {
@@ -560,5 +587,21 @@ mod tests {
         assert_eq!(GroupLayout::from_flag(0), GroupLayout::Soa);
         assert_eq!(GroupLayout::from_flag(1), GroupLayout::Aos);
         assert_eq!(GroupLayout::Aos.flag(), 1);
+    }
+
+    #[test]
+    fn detected_kernel_is_native_and_stable() {
+        // Whatever the probe picks must be runnable in this build, and
+        // the OnceLock cache must make repeated probes free and equal.
+        let k = Kernel::detect();
+        assert!(k.is_native());
+        assert_eq!(Kernel::detect(), k);
+        // On any host modern enough to run the test suite the probe
+        // finds popcount and agrees with the compile-time choice; the
+        // scalar fallback is for genuinely pre-SSE4.2 silicon.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("popcnt") {
+            assert_eq!(k, Kernel::auto());
+        }
     }
 }

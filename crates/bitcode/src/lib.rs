@@ -26,8 +26,16 @@
 //! * [`kernels`] — HA-Kern: the sibling-group distance kernels behind
 //!   every frozen-snapshot search path ([`Kernel`] × [`GroupLayout`]
 //!   dispatched through [`masked_distance_group`]), with `std::simd`
-//!   variants behind the nightly-only `simd` feature. See
+//!   variants behind the nightly-only `simd` feature and one-time
+//!   runtime CPU-feature dispatch ([`Kernel::detect`]). See
 //!   `docs/KERNELS.md` for the tuning guide.
+//! * [`pool`] — HA-Par's scoped work-stealing [`pool::fan_out`]: the one
+//!   fan-out primitive behind parallel H-Build, `HaServe` shard probes
+//!   and morsel-split frontier levels, with results reassembled in task
+//!   order so parallel merges stay byte-identical to sequential ones.
+//! * [`prefetch`] — portable software-prefetch hints
+//!   ([`prefetch::prefetch_read`]) the traversal hot paths issue a
+//!   configurable distance ahead of the current sibling group.
 //!
 //! # Bit-order convention
 //!
@@ -52,6 +60,8 @@ pub mod fnv;
 pub mod gray;
 pub mod kernels;
 mod masked;
+pub mod pool;
+pub mod prefetch;
 pub mod segment;
 mod words;
 

@@ -1,0 +1,88 @@
+//! Portable software-prefetch hints for the traversal hot paths.
+//!
+//! The frozen-frontier walk (`ha-store`'s `FlatStoreView`) and the MIH
+//! candidate-verification loop both know *exactly* which group planes or
+//! code rows they will touch a few iterations ahead of time, but the
+//! addresses hop around the arrays in data-dependent order the hardware
+//! prefetcher cannot learn. A one-instruction prefetch hint issued a
+//! configurable distance ahead overlaps that miss latency with the
+//! current group's popcount sweep.
+//!
+//! [`prefetch_read`] lowers to `_mm_prefetch(…, _MM_HINT_T0)` on x86-64,
+//! `prfm pldl1keep` on aarch64, and a no-op everywhere else. It is a
+//! *hint* in the strictest sense: it never faults (both instructions
+//! ignore invalid addresses), never writes, and has zero effect on any
+//! computed value — which is why the equivalence suites can prove the
+//! prefetched paths byte-identical to the plain ones.
+//!
+//! ```
+//! use ha_bitcode::prefetch::{prefetch_index, PREFETCH_DISTANCE};
+//!
+//! let planes = vec![0u64; 1024];
+//! // Hint the line we will sweep a few groups from now; out-of-range
+//! // indexes are simply ignored.
+//! prefetch_index(&planes, 512);
+//! prefetch_index(&planes, 1 << 40);
+//! let _ = PREFETCH_DISTANCE;
+//! ```
+
+/// Default look-ahead distance, in frontier entries (or candidate rows),
+/// that the traversal layers hint at. Far enough that the line arrives
+/// before the sweep reaches it, near enough that it is still resident
+/// when it does; `docs/KERNELS.md` has the tuning notes.
+pub const PREFETCH_DISTANCE: usize = 4;
+
+/// Hints that the cache line holding `*p` will be read soon.
+///
+/// Safe for any pointer value: prefetch instructions ignore faulting
+/// addresses by architecture definition, and the fallback does nothing.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it performs no load and ignores
+    // invalid addresses (Intel SDM vol. 2B, PREFETCHh).
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM PLDL1KEEP is a hint; it cannot generate a memory
+    // fault (Arm ARM C6.2.251).
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) p,
+            options(nostack, preserves_flags)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
+/// Hints the element `slice[index]`; out-of-range indexes are ignored,
+/// so callers can blindly hint `i + distance` near the end of a sweep.
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], index: usize) {
+    if let Some(r) = slice.get(index) {
+        prefetch_read(r as *const T);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        // No observable effect, no crash — in or out of range, empty or
+        // not. (The *performance* effect is pinned by the `par`
+        // experiment; correctness-wise a prefetch must be invisible.)
+        let data: Vec<u64> = (0..256).collect();
+        prefetch_read(data.as_ptr());
+        prefetch_index(&data, 0);
+        prefetch_index(&data, 255);
+        prefetch_index(&data, 256);
+        prefetch_index(&data, usize::MAX);
+        prefetch_index::<u64>(&[], 0);
+        assert_eq!(data[255], 255);
+    }
+}

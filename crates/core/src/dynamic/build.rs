@@ -13,8 +13,6 @@
 //!    level.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 use ha_bitcode::gray::gray_rank;
 use ha_bitcode::{BinaryCode, MaskedCode};
@@ -379,9 +377,10 @@ fn merge_sorted(
 }
 
 /// Scoped fork-join over contiguous `chunk`-sized tasks: applies `f` to
-/// each task on up to `workers` threads (work-stealing over a shared
-/// cursor) and returns the concatenated results **in task order** — task
-/// *assignment* varies with scheduling, the output never does.
+/// each task on up to `workers` threads (work-stealing over
+/// [`ha_bitcode::pool::fan_out`]'s shared cursor) and returns the
+/// concatenated results **in task order** — task *assignment* varies
+/// with scheduling, the output never does.
 fn fork_join<T: Sync, R: Send>(
     items: &[T],
     chunk: usize,
@@ -389,38 +388,9 @@ fn fork_join<T: Sync, R: Send>(
     f: impl Fn(&[T]) -> Vec<R> + Sync,
 ) -> Vec<R> {
     let tasks: Vec<&[T]> = items.chunks(chunk.max(1)).collect();
-    if workers <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().flat_map(&f).collect();
-    }
-    let nworkers = workers.min(tasks.len());
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
-    let mut parts: Vec<Option<Vec<R>>> = Vec::new();
-    parts.resize_with(tasks.len(), || None);
-    std::thread::scope(|scope| {
-        for _ in 0..nworkers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let tasks = &tasks;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                if tx.send((i, f(tasks[i]))).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    for (i, part) in rx {
-        parts[i] = Some(part);
-    }
-    parts
+    ha_bitcode::pool::fan_out(workers, tasks.len(), |i| f(tasks[i]))
         .into_iter()
-        .flat_map(|p| p.expect("every task ran"))
+        .flatten()
         .collect()
 }
 

@@ -36,7 +36,7 @@
 //! into the persistent HA-Store format.
 
 use ha_bitcode::{masked_distance_group, BinaryCode, GroupLayout, Kernel, MaskedCode};
-use ha_store::{FlatParts, FlatStoreView, Scratch};
+use ha_store::{FlatParts, FlatStoreView};
 
 use super::search::{TraceEvent, TraceStep};
 use super::{DynamicHaIndex, NodeId};
@@ -69,6 +69,15 @@ const NONE: u32 = u32::MAX;
 pub struct FreezePolicy {
     mode: PolicyMode,
     aos_max_group: usize,
+    /// Kernel the frozen snapshot's views dispatch to; `None` defers to
+    /// the one-time runtime probe ([`Kernel::detect`]).
+    kernel: Option<Kernel>,
+    /// Frontier prefetch look-ahead for the snapshot's views; `None`
+    /// takes the measured default, `Some(0)` disables the hints.
+    prefetch: Option<usize>,
+    /// Worker threads for morsel-split frontier levels; `None` (and
+    /// anything `<= 1`) keeps traversal on the calling thread.
+    workers: Option<usize>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,18 +93,28 @@ impl FreezePolicy {
     /// where the kernel sweep measured the stride cost crossing the
     /// early-exit gain; tune with [`FreezePolicy::aos_max_group`].
     pub fn adaptive() -> FreezePolicy {
-        FreezePolicy { mode: PolicyMode::Adaptive, aos_max_group: 16 }
+        FreezePolicy {
+            mode: PolicyMode::Adaptive,
+            aos_max_group: 16,
+            kernel: None,
+            prefetch: None,
+            workers: None,
+        }
     }
 
     /// Every group SoA — the legacy layout, kept as the documented
     /// ablation and for serializing v1-compatible files.
     pub fn always_soa() -> FreezePolicy {
-        FreezePolicy { mode: PolicyMode::AlwaysSoa, aos_max_group: 0 }
+        FreezePolicy { aos_max_group: 0, mode: PolicyMode::AlwaysSoa, ..FreezePolicy::adaptive() }
     }
 
     /// Every group AoS — a measurement aid, not a serving choice.
     pub fn always_aos() -> FreezePolicy {
-        FreezePolicy { mode: PolicyMode::AlwaysAos, aos_max_group: usize::MAX }
+        FreezePolicy {
+            aos_max_group: usize::MAX,
+            mode: PolicyMode::AlwaysAos,
+            ..FreezePolicy::adaptive()
+        }
     }
 
     /// Adjusts the adaptive threshold: groups strictly narrower than
@@ -103,6 +122,48 @@ impl FreezePolicy {
     pub fn aos_max_group(mut self, g: usize) -> FreezePolicy {
         self.aos_max_group = g;
         self
+    }
+
+    /// Pins the snapshot's sweep kernel instead of deferring to the
+    /// runtime probe. Every kernel computes identical distances, so
+    /// this is a pure performance knob (scalar for tracing/debugging,
+    /// lanes/simd for throughput).
+    pub fn with_kernel(mut self, kernel: Kernel) -> FreezePolicy {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Pins the frontier prefetch look-ahead (entries ahead of the
+    /// group being swept; `0` disables the hints).
+    pub fn prefetch_distance(mut self, distance: usize) -> FreezePolicy {
+        self.prefetch = Some(distance);
+        self
+    }
+
+    /// Lets the snapshot's views split frontier levels wider than two
+    /// morsels across up to `workers` scoped threads. Answers stay
+    /// byte-identical at any worker count (morsel results are
+    /// reassembled in frontier order).
+    pub fn parallel_workers(mut self, workers: usize) -> FreezePolicy {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The kernel snapshots frozen under this policy dispatch to:
+    /// the pinned choice, or the runtime-detected best.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel.unwrap_or_else(Kernel::detect)
+    }
+
+    /// The frontier prefetch look-ahead snapshots frozen under this
+    /// policy use.
+    pub fn prefetch(&self) -> usize {
+        self.prefetch.unwrap_or(ha_bitcode::prefetch::PREFETCH_DISTANCE)
+    }
+
+    /// Worker threads for morsel-split frontier levels (1 = sequential).
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(1)
     }
 
     /// The layout this policy assigns a `group`-wide sibling group of
@@ -173,6 +234,13 @@ pub struct FlatHaIndex {
     /// out row-major — the planner reads the ratio.
     groups: u32,
     aos_groups: u32,
+    /// Execution knobs resolved from the freeze policy at compile time
+    /// (kernel via the runtime probe unless pinned). Applied to every
+    /// view the snapshot hands out; never serialized — a reopened store
+    /// re-resolves for the host it runs on.
+    kernel: Kernel,
+    prefetch: usize,
+    workers: usize,
 }
 
 /// Appends one sibling group's patterns to `planes` in the layout the
@@ -301,6 +369,9 @@ pub(super) fn compile(idx: &DynamicHaIndex, policy: FreezePolicy) -> FlatHaIndex
         group_layout,
         groups,
         aos_groups,
+        kernel: policy.kernel(),
+        prefetch: policy.prefetch(),
+        workers: policy.workers(),
     }
 }
 
@@ -380,9 +451,14 @@ impl FlatHaIndex {
     }
 
     /// Zero-copy search view over the owned arrays — the same type an
-    /// `mmap`-ed HA-Store snapshot hands out.
+    /// `mmap`-ed HA-Store snapshot hands out — carrying the execution
+    /// knobs (kernel, prefetch distance, morsel workers) the freeze
+    /// policy resolved.
     pub fn view(&self) -> FlatStoreView<'_> {
         FlatStoreView::from_parts_unchecked(self.parts())
+            .with_kernel(self.kernel)
+            .with_prefetch(self.prefetch)
+            .with_parallel(self.workers)
     }
 
     /// Serializes the snapshot into the persistent HA-Store format
@@ -445,17 +521,12 @@ impl FlatHaIndex {
     }
 
     /// Batched H-Search: one solo flat traversal per query, sharing the
-    /// scratch buffers across the whole batch so the steady state allocates
-    /// nothing per query. (PR 3's serve bench showed raw per-query CPU, not
-    /// traversal sharing, bounds throughput once locks are amortized.)
+    /// thread's scratch buffers across the whole batch so the steady
+    /// state allocates nothing per query. (PR 3's serve bench showed raw
+    /// per-query CPU, not traversal sharing, bounds throughput once
+    /// locks are amortized.)
     pub fn batch_search(&self, queries: &[BinaryCode], h: u32) -> Vec<Vec<TupleId>> {
-        let view = self.view();
-        let mut out: Vec<Vec<TupleId>> = vec![Vec::new(); queries.len()];
-        let mut scratch = Scratch::default();
-        for (slot, query) in out.iter_mut().zip(queries) {
-            view.search_into(query, h, &mut scratch, slot);
-        }
-        out
+        self.view().batch_search(queries, h)
     }
 
     /// Reconstructs node `v`'s residual pattern from its sibling group's

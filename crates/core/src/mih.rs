@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use ha_bitcode::chunk::{distance_within_words, for_each_neighbor, neighborhood_size};
+use ha_bitcode::prefetch::{prefetch_index, PREFETCH_DISTANCE};
 use ha_bitcode::segment::Segmentation;
 use ha_bitcode::BinaryCode;
 
@@ -214,7 +215,13 @@ impl MihIndex {
             let table = &self.tables[k];
             for_each_neighbor(value, width as u32, radius, &mut |v| {
                 let Some(bucket) = table.get(&v) else { return };
-                for &row in bucket {
+                for (j, &row) in bucket.iter().enumerate() {
+                    // Bucket rows land anywhere in the flat store;
+                    // hint the row a few candidates ahead so its code
+                    // words arrive while this one is being verified.
+                    if let Some(&ahead) = bucket.get(j + PREFETCH_DISTANCE) {
+                        prefetch_index(&self.row_words, ahead as usize * self.stride);
+                    }
                     let row = row as usize;
                     if std::mem::replace(&mut seen[row], true) {
                         continue;

@@ -30,7 +30,7 @@ use ha_bitcode::chunk::neighborhood_size;
 use ha_bitcode::segment::Segmentation;
 use ha_bitcode::BinaryCode;
 
-use crate::dynamic::{DhaConfig, DynamicHaIndex};
+use crate::dynamic::{DhaConfig, DynamicHaIndex, FreezePolicy};
 use crate::mih::MihIndex;
 use crate::{HammingIndex, MutableIndex, TupleId};
 
@@ -289,6 +289,10 @@ pub struct PlanConfig {
     pub mih_chunks: Option<usize>,
     /// Cost model driving routing decisions.
     pub model: CostModel,
+    /// Policy every snapshot of this index is frozen under — layout
+    /// choice plus the HA-Par execution knobs (kernel, prefetch,
+    /// morsel workers).
+    pub freeze: FreezePolicy,
 }
 
 /// An exact Hamming index that owns every backend and routes per query.
@@ -321,6 +325,7 @@ pub struct PlannedIndex {
     mih: MihIndex,
     model: CostModel,
     clusteredness: f64,
+    freeze: FreezePolicy,
 }
 
 impl PlannedIndex {
@@ -344,9 +349,9 @@ impl PlannedIndex {
         } else {
             DynamicHaIndex::build_with(items, cfg.dha)
         };
-        dha.freeze();
+        dha.freeze_with(cfg.freeze);
         let clusteredness = estimate_clusteredness(dha.leaf_codes());
-        PlannedIndex { code_len, dha, mih, model: cfg.model, clusteredness }
+        PlannedIndex { code_len, dha, mih, model: cfg.model, clusteredness, freeze: cfg.freeze }
     }
 
     /// The profile the planner currently costs queries against. The
@@ -445,9 +450,13 @@ impl PlannedIndex {
         }
     }
 
-    /// Refreshes the flat snapshot and the clusteredness estimate.
+    /// Refreshes the flat snapshot (under the configured policy) and the
+    /// clusteredness estimate. Idempotent while the epoch is unchanged,
+    /// like [`DynamicHaIndex::freeze`].
     pub fn freeze(&mut self) {
-        self.dha.freeze();
+        if !self.dha.flat_is_current() {
+            self.dha.freeze_with(self.freeze);
+        }
         self.clusteredness = estimate_clusteredness(self.dha.leaf_codes());
     }
 

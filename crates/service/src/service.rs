@@ -64,8 +64,10 @@ use std::time::{Duration, Instant};
 use ha_bitcode::BinaryCode;
 use ha_core::delta::{DeltaBase, DeltaIndex, DeltaOp};
 use ha_core::planner::{PlanConfig, PlannedIndex};
-use ha_core::{CostModel, DhaConfig, DynamicHaIndex, HammingIndex, MappedIndex, TupleId};
-use ha_mapreduce::checksum::fnv64;
+use ha_core::{
+    CostModel, DhaConfig, DynamicHaIndex, ExecConfig, HammingIndex, MappedIndex, SearchExecutor,
+    TupleId,
+};
 use ha_mapreduce::wal::{DfsWal, WalError};
 use ha_mapreduce::{DfsError, InMemoryDfs};
 use parking_lot::{Mutex, RwLock};
@@ -120,6 +122,12 @@ pub struct ServeConfig {
     /// panics/delays and scripted process crashes around the WAL append.
     /// Empty by default (no faults).
     pub merge_faults: MergeFaultPlan,
+    /// HA-Par execution knobs: how many workers a select/kNN/batch fans
+    /// its shard probes across, plus the kernel and prefetch settings
+    /// forwarded into every generation's freeze policy. The default
+    /// sizes the fan-out to the host; [`ExecConfig::sequential`] is the
+    /// byte-identical oracle configuration.
+    pub exec: ExecConfig,
 }
 
 impl Default for ServeConfig {
@@ -137,13 +145,20 @@ impl Default for ServeConfig {
             max_merge_attempts: 3,
             merge_backoff: Duration::from_millis(1),
             merge_faults: MergeFaultPlan::new(),
+            exec: ExecConfig::default(),
         }
     }
 }
 
-/// Shard owning `code` under FNV-1a hash partitioning.
+/// Shard owning `code` under FNV-1a hash partitioning. Hashes the
+/// packed wire form straight off the code's words
+/// ([`BinaryCode::packed_fnv64`] equals `fnv64(&to_packed_bytes())`
+/// exactly, so routing matches services persisted before the
+/// alloc-free path) — this runs once per routed mutation *and* once
+/// per cache-missed query, where the old per-call `Vec` showed up in
+/// profiles.
 fn owner(code: &BinaryCode, shards: usize) -> usize {
-    (fnv64(&code.to_packed_bytes()) % shards as u64) as usize
+    (code.packed_fnv64() % shards as u64) as usize
 }
 
 /// DFS layout of a durable service rooted at `base`.
@@ -535,6 +550,9 @@ struct Inner {
     mutation_ordinal: AtomicU64,
     faults: MergeFaultInjector,
     durable: Option<Durable>,
+    /// HA-Par executor every select/kNN/batch fans its shard probes
+    /// through (inline when `cfg.exec.workers <= 1`).
+    exec: SearchExecutor,
     cfg: ServeConfig,
 }
 
@@ -746,6 +764,7 @@ impl HaServe {
             mutation_ordinal: AtomicU64::new(0),
             faults: MergeFaultInjector::new(cfg.merge_faults.clone()),
             durable,
+            exec: SearchExecutor::new(&cfg.exec),
             cfg,
         });
         let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers)
@@ -1154,10 +1173,22 @@ fn partition(
 }
 
 fn plan_config(cfg: &ServeConfig) -> PlanConfig {
+    // Forward the HA-Par execution knobs into the freeze policy so
+    // every generation this service compiles sweeps on the configured
+    // (or runtime-detected) kernel with the configured prefetch
+    // distance. The layout choice itself stays adaptive.
+    let mut freeze = ha_core::FreezePolicy::adaptive();
+    if let Some(kernel) = cfg.exec.kernel {
+        freeze = freeze.with_kernel(kernel);
+    }
+    if let Some(distance) = cfg.exec.prefetch {
+        freeze = freeze.prefetch_distance(distance);
+    }
     PlanConfig {
         dha: cfg.dha.clone(),
         mih_chunks: None,
         model: cfg.model.clone(),
+        freeze,
     }
 }
 
@@ -1556,7 +1587,14 @@ impl Inner {
             let seq = self.batch_seq.fetch_add(1, Ordering::SeqCst);
             let start = (self.cfg.seed.wrapping_add(seq) % nshards as u64) as usize;
             merged = vec![Vec::new(); miss_codes.len()];
-            for off in 0..nshards {
+            // HA-Par: per-shard probes are independent reads under the
+            // guards held above, so they fan out as stealable tasks.
+            // The executor returns results in rotation order — exactly
+            // the order the old sequential loop produced — and the
+            // merge below is shard-order-insensitive anyway (ids are
+            // sorted after the union), so answers are byte-identical
+            // at any worker count (see DESIGN.md).
+            let probes = self.exec.fan_out(nshards, |off| {
                 let s = (start + off) % nshards;
                 let t0 = Instant::now();
                 let per_query = {
@@ -1564,7 +1602,10 @@ impl Inner {
                         ha_obs::span_labeled("serve.shard_probe", || format!("shard={s}"));
                     guards[s].delta.batch_search(&guards[s].gen.index, &miss_codes, h)
                 };
-                probe_times.push((s, t0.elapsed()));
+                (s, t0.elapsed(), per_query)
+            });
+            for (s, elapsed, per_query) in probes {
+                probe_times.push((s, elapsed));
                 for (qi, ids) in per_query.into_iter().enumerate() {
                     merged[qi].extend(ids);
                 }
@@ -1640,9 +1681,15 @@ impl Inner {
             let max_r = self.code_len as u32;
             let mut r = 0u32;
             loop {
+                // Shard probes fan out per round; results come back in
+                // shard order, so concatenation (and the final sort by
+                // `(d, id)`) matches the sequential loop exactly.
                 let mut cands: Vec<(TupleId, u32)> = Vec::new();
-                for g in &guards {
-                    cands.extend(g.delta.search_with_distances(&g.gen.index, code, r));
+                let round = self.exec.fan_out(guards.len(), |s| {
+                    guards[s].delta.search_with_distances(&guards[s].gen.index, code, r)
+                });
+                for part in round {
+                    cands.extend(part);
                 }
                 if cands.len() >= k_eff || r >= max_r {
                     cands.sort_unstable_by_key(|&(id, d)| (d, id));

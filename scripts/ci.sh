@@ -35,13 +35,14 @@ run cargo test -q --test observability
 run cargo test -q --test panic_audit
 run cargo test -q --test flat_equivalence
 run cargo test -q --test mih_equivalence
+run cargo test -q --test exec_equivalence
 run cargo test -q --test planner_decisions
 run cargo test -q --test store_roundtrip
 run cargo test -q --test store_corruption
 
 # Compile-only smoke over the criterion benches: keeps the bench
-# harnesses (including flat_search, mih_search and kernel_sweep) building
-# without paying for a measured run in CI.
+# harnesses (including flat_search, mih_search, kernel_sweep and
+# par_search) building without paying for a measured run in CI.
 run cargo bench --no-run -q -p ha-bench
 
 # Second pass with the portable-SIMD kernels compiled in (`--features
